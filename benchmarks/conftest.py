@@ -1,0 +1,24 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark regenerates one paper artifact (table or figure) through
+the full discrete-event system, asserts the paper's *shape* (who wins,
+where the knee falls, which cells fail) and reports the wall-clock cost
+of the regeneration via pytest-benchmark.
+
+The simulations are deterministic, so a single round per benchmark is
+both sufficient and honest about cost.
+"""
+
+import pytest
+
+from repro.core import PdrSystem
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def system():
+    return PdrSystem()

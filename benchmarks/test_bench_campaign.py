@@ -1,0 +1,34 @@
+"""Benchmark: application-level ASP-swapping campaign (paper motivation).
+
+Not a paper table, but the quantified version of the paper's intro
+story: over-clocked PDR makes on-demand ASP swapping cheap.  The
+assertions restate Table II's conclusion at application level.
+"""
+
+import pytest
+
+from repro.experiments.workloads import WorkloadSpec, compare_icap_frequencies
+
+from conftest import run_once
+
+
+def test_bench_campaign(benchmark):
+    spec = WorkloadSpec(n_jobs=24, pool_size=7, seed=2017)
+    results = run_once(
+        benchmark, compare_icap_frequencies, (100.0, 200.0, 280.0), spec
+    )
+
+    # Identical workload -> identical miss counts everywhere.
+    assert len({r.misses for r in results.values()}) == 1
+    # Makespan strictly improves with the ICAP clock...
+    assert (
+        results[280.0].makespan_ms
+        < results[200.0].makespan_ms
+        < results[100.0].makespan_ms
+    )
+    # ...over-clocking to the knee roughly halves it...
+    assert results[100.0].makespan_ms / results[200.0].makespan_ms > 1.7
+    # ...and 200 MHz minimises the energy per swap (Table II, restated).
+    per_swap = {f: r.energy_per_swap_mj for f, r in results.items()}
+    assert min(per_swap, key=per_swap.get) == 200.0
+    assert per_swap[200.0] == pytest.approx(0.887, rel=0.05)

@@ -1,0 +1,27 @@
+"""Benchmark E2: regenerate Fig. 5 and verify the knee."""
+
+import pytest
+
+from repro.experiments.fig5 import run_fig5
+
+from conftest import run_once
+
+
+def test_bench_fig5(benchmark, system):
+    data = run_once(benchmark, run_fig5, system=system)
+
+    # Linear region: throughput ~ 4 bytes x f below the knee.
+    low = {x: y for x, y in zip(data.measured.x, data.measured.y) if x <= 180}
+    for freq, throughput in low.items():
+        assert throughput == pytest.approx(4.0 * freq, rel=0.02)
+
+    # The knee falls where the paper says: about 200 MHz.
+    assert data.knee_mhz is not None
+    assert data.knee_mhz == pytest.approx(200.0, abs=25.0)
+
+    # Saturation ceiling near 790 MB/s.
+    assert data.max_throughput_mb_s == pytest.approx(790.14, rel=0.01)
+
+    # Above the knee the curve is flat: <2 % gain from 240 to 300 MHz.
+    by_freq = dict(zip(data.measured.x, data.measured.y))
+    assert by_freq[300.0] / by_freq[240.0] < 1.02

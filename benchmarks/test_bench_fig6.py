@@ -1,0 +1,26 @@
+"""Benchmark E3: regenerate Fig. 6 and verify its structure."""
+
+import pytest
+
+from repro.experiments.fig6 import run_fig6
+
+from conftest import run_once
+
+
+def test_bench_fig6(benchmark, system):
+    data = run_once(benchmark, run_fig6, system=system)
+
+    # Paper: "the dynamic power dissipation increases linearly with
+    # frequency and the slope is constant at the different temperatures".
+    assert data.slope_spread() < 0.02
+    for slope, _intercept in data.fits.values():
+        assert slope * 1e3 == pytest.approx(1.667, rel=0.05)  # mW/MHz
+
+    # Paper: "more than linear increase of power with temperature".
+    assert data.offsets_superlinear()
+    offsets = data.static_offsets()
+    assert offsets[-1] - offsets[0] == pytest.approx(0.47, abs=0.1)
+
+    # Every curve stays within the figure's 1-2 W axis range.
+    for series in data.curves.values():
+        assert all(1.0 <= y <= 2.0 for y in series.y)

@@ -1,0 +1,31 @@
+"""Benchmark E1: regenerate Table I and verify its shape."""
+
+import pytest
+
+from repro.experiments.calibration import PAPER_TABLE1
+from repro.experiments.table1 import run_table1
+
+from conftest import run_once
+
+
+def test_bench_table1(benchmark, system):
+    rows = run_once(benchmark, run_table1, system=system)
+
+    assert len(rows) == len(PAPER_TABLE1)
+    by_freq = {row.freq_mhz: row for row in rows}
+
+    # Regimes: every row lands in the same measured/N-A + CRC class.
+    for row in rows:
+        assert row.matches_paper_shape, f"{row.freq_mhz} MHz regime mismatch"
+
+    # Quantitative: successful rows within 1 % of the paper.
+    for freq, (latency, throughput, _crc) in PAPER_TABLE1.items():
+        if latency is None:
+            continue
+        result = by_freq[freq].result
+        assert result.latency_us == pytest.approx(latency, rel=0.01)
+        assert result.throughput_mb_s == pytest.approx(throughput, rel=0.01)
+
+    # Headline numbers: ~400 MB/s nominal -> ~790 MB/s at 280 MHz.
+    assert by_freq[100.0].result.throughput_mb_s == pytest.approx(399.06, rel=0.01)
+    assert by_freq[280.0].result.throughput_mb_s == pytest.approx(790.14, rel=0.01)

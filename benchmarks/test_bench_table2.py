@@ -1,0 +1,32 @@
+"""Benchmark E4: regenerate Table II and verify the efficiency peak."""
+
+import pytest
+
+from repro.experiments.calibration import PAPER_TABLE2
+from repro.experiments.table2 import best_operating_point, run_table2
+
+from conftest import run_once
+
+
+def test_bench_table2(benchmark, system):
+    rows = run_once(benchmark, run_table2, system=system)
+
+    # Every row within 3 % of the paper's MB/J column.
+    for row in rows:
+        assert row.result.power_efficiency_mb_per_j == pytest.approx(
+            row.paper_efficiency_mb_j, rel=0.03
+        )
+        assert row.result.pdr_power_w == pytest.approx(row.paper_power_w, abs=0.03)
+
+    # The paper's conclusion: 200 MHz is the most power-efficient point
+    # (~600 MB/J), because throughput plateaus while power keeps rising.
+    best = best_operating_point(rows)
+    assert best.freq_mhz == 200.0
+    assert best.result.power_efficiency_mb_per_j == pytest.approx(599.0, rel=0.02)
+
+    # Efficiency rises to the knee and falls beyond it.
+    efficiency = [r.result.power_efficiency_mb_per_j for r in rows]
+    peak = efficiency.index(max(efficiency))
+    assert all(a < b for a, b in zip(efficiency[:peak], efficiency[1 : peak + 1]))
+    assert all(a > b for a, b in zip(efficiency[peak:], efficiency[peak + 1 :]))
+    assert len(rows) == len(PAPER_TABLE2)

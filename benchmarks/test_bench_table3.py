@@ -1,0 +1,59 @@
+"""Benchmark E6 (+E8): regenerate Table III and the §V scaling narrative."""
+
+import pytest
+
+from repro.baselines import ThisWorkController, TransferOutcome
+from repro.experiments.calibration import PAPER_TABLE3
+from repro.experiments.table3 import default_controllers, run_scaling_sweep, run_table3
+
+from conftest import run_once
+
+
+def test_bench_table3(benchmark, system):
+    controllers = default_controllers(ThisWorkController(system))
+    rows = run_once(benchmark, run_table3, controllers=controllers)
+
+    by_design = {row.controller.design: row for row in rows}
+    for design, (_platform, _freq, throughput) in PAPER_TABLE3.items():
+        measured = by_design[design].result.throughput_mb_s
+        assert measured == pytest.approx(throughput, rel=0.02), design
+
+    # Who wins (burst throughput): HKT > VF > this work > HP — but only
+    # this work carries a CRC check.
+    ranked = sorted(rows, key=lambda r: r.result.throughput_mb_s, reverse=True)
+    assert [r.controller.design for r in ranked] == [
+        "HKT-2011",
+        "VF-2012",
+        "This work",
+        "HP-2011",
+    ]
+    assert [r.controller.has_crc_check for r in rows].count(True) == 1
+
+
+def test_baseline_scaling(benchmark):
+    """E8: each design's behaviour as the clock rises (§V narrative)."""
+    controllers = [
+        c for c in default_controllers() if c.design != "This work"
+    ]
+    sweeps = run_once(
+        benchmark,
+        run_scaling_sweep,
+        controllers=controllers,
+        frequencies=[100.0, 210.0, 250.0, 310.0, 550.0],
+    )
+
+    vf = {r.requested_mhz: r for r in sweeps["VF-2012"]}
+    # VF-2012 scales linearly to 210, fails beyond, freezes past 300.
+    assert vf[210.0].throughput_mb_s == pytest.approx(838.55, rel=0.01)
+    assert vf[250.0].outcome == TransferOutcome.FAILED
+    assert vf[310.0].outcome == TransferOutcome.FROZE
+
+    hp = {r.requested_mhz: r for r in sweeps["HP-2011"]}
+    # HP-2011's active feedback never lets the device fail.
+    assert all(r.ok for r in hp.values())
+    assert hp[550.0].effective_mhz == 133.0
+
+    hkt = {r.requested_mhz: r for r in sweeps["HKT-2011"]}
+    # HKT-2011 on a large bitstream cannot sustain its 2200 MB/s burst
+    # rate (the paper's doubt, made quantitative).
+    assert hkt[550.0].throughput_mb_s < 1000.0

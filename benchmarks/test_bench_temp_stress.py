@@ -1,0 +1,20 @@
+"""Benchmark E5: regenerate the §IV-A temperature-stress matrix."""
+
+from repro.experiments.calibration import PAPER_STRESS_FAILURES
+from repro.experiments.temp_stress import run_temp_stress
+
+from conftest import run_once
+
+
+def test_bench_temp_stress(benchmark, system):
+    # The full 7x7 grid is 49 complete PDR runs through the DES.
+    matrix = run_once(benchmark, run_temp_stress, system=system)
+
+    # Paper: "All the tests succeeded except the test done at 310 MHz and
+    # 100 C which failed."
+    assert matrix.failures() == sorted(PAPER_STRESS_FAILURES)
+    assert matrix.matches_paper()
+
+    total = len(matrix.temps_c) * len(matrix.freqs_mhz)
+    passed = sum(1 for ok in matrix.cells.values() if ok)
+    assert passed == total - 1

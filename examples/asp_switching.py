@@ -1,0 +1,96 @@
+"""ASP switching workload on the Fig. 1 acceleration framework.
+
+The paper's motivation: with low reconfiguration latency "we can
+seamlessly change the hardware (ASP), similarly to what happens with
+dynamically loaded software routines".  This example runs a bursty
+multi-tenant job mix — crypto, filtering, matrix math, checksumming —
+through the four reconfigurable partitions, twice: with the ICAP at its
+nominal 100 MHz and over-clocked to the 200 MHz power-efficiency knee.
+
+The job mix deliberately touches more distinct ASPs than there are
+partitions, so evictions (and therefore reconfigurations) keep happening;
+the over-clocked run shrinks every miss penalty.
+
+Run:  python examples/asp_switching.py
+"""
+
+from repro.core import AspRequest, HllFramework
+from repro.fabric import Aes128Asp, Crc32Asp, FirFilterAsp, MatMulAsp
+
+
+def build_workload():
+    """A 20-job mix over 6 distinct ASPs (4 partitions -> misses)."""
+    aes_a = Aes128Asp([1, 2, 3, 4])
+    aes_b = Aes128Asp([5, 6, 7, 8])
+    fir_lp = FirFilterAsp([1, 4, 6, 4, 1])      # low-pass
+    fir_hp = FirFilterAsp([-1, 2, -1])          # high-pass
+    matmul = MatMulAsp(4)
+    crc = Crc32Asp()
+
+    pattern = [
+        ("encrypt-a", aes_a, [0x11111111] * 16),
+        ("filter-lp", fir_lp, list(range(64))),
+        ("checksum", crc, list(range(256))),
+        ("encrypt-b", aes_b, [0x22222222] * 16),
+        ("matmul", matmul, list(range(32))),
+        ("filter-hp", fir_hp, list(range(64))),
+        ("encrypt-a", aes_a, [0x33333333] * 16),
+        ("checksum", crc, list(range(128))),
+        ("filter-lp", fir_lp, list(range(32))),
+        ("matmul", matmul, list(range(32))),
+    ]
+    return [
+        AspRequest(asp=asp, input_words=words, label=f"{label}#{round_index}")
+        for round_index in range(2)
+        for label, asp, words in pattern
+    ]
+
+
+def run_campaign(icap_freq_mhz: float):
+    framework = HllFramework(icap_freq_mhz=icap_freq_mhz)
+    results = framework.run_jobs(build_workload())
+    makespan_us = sum(result.total_us for result in results)
+    return framework, results, makespan_us
+
+
+def main() -> None:
+    print("ASP-switching campaign: 20 jobs, 6 ASPs, 4 partitions\n")
+    header = (
+        f"{'ICAP clock':>12} {'makespan ms':>12} {'reconfig ms':>12} "
+        f"{'misses':>7} {'hit rate':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    baseline_makespan = None
+    for freq in (100.0, 200.0):
+        framework, _results, makespan_us = run_campaign(freq)
+        print(
+            f"{freq:>9.0f} MHz {makespan_us / 1e3:>12.2f} "
+            f"{framework.total_reconfig_us / 1e3:>12.2f} "
+            f"{framework.misses:>7} {framework.hit_rate:>8.0%}"
+        )
+        if baseline_makespan is None:
+            baseline_makespan = makespan_us
+        else:
+            saved = baseline_makespan - makespan_us
+            print(
+                f"\nOver-clocking the ICAP to 200 MHz saves "
+                f"{saved / 1e3:.2f} ms on this workload "
+                f"({saved / baseline_makespan:.0%} of the makespan) — "
+                f"an ASP miss (transfer + CRC read-back verification) "
+                f"now costs ~1.5 ms instead of ~2.9 ms."
+            )
+
+    # Show one job's anatomy for the curious.
+    framework, results, _ = run_campaign(200.0)
+    miss = next(r for r in results if not r.hit)
+    print(
+        f"\nanatomy of a miss ({miss.label} on {miss.region}): "
+        f"reconfig {miss.reconfig_us:.0f} us + data-in {miss.data_in_us:.1f} us "
+        f"+ compute {miss.compute_us:.1f} us + data-out {miss.data_out_us:.1f} us"
+    )
+
+
+if __name__ == "__main__":
+    main()

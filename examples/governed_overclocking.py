@@ -1,0 +1,66 @@
+"""Closed-loop over-clocking: never fail, always near the edge.
+
+The paper's approach is open-loop — pick a frequency, let the CRC block
+catch failures.  HP-2011 (compared in §V) instead used *active feedback*
+to stay within nominal limits.  This example combines them: a governor
+reads the XADC die-temperature sensor and the calibrated timing model,
+and authorises the highest clock that still meets timing at the current
+temperature (minus a safety margin).
+
+Watch it track the heat gun: as the die warms from 40 °C to 100 °C the
+authorised clock backs off, and every transfer stays CRC-valid — the
+310 MHz @ 100 °C failure of §IV-A becomes unreachable.
+
+Run:  python examples/governed_overclocking.py
+"""
+
+from repro.analysis import summarize_results
+from repro.core import ActiveFeedbackGovernor, PdrSystem
+from repro.fabric import FirFilterAsp
+
+
+def main() -> None:
+    system = PdrSystem()
+    governor = ActiveFeedbackGovernor(
+        system.timing, system.temp_sensor, margin_mhz=5.0
+    )
+    asp = FirFilterAsp([1, 3, 3, 1])
+    request_mhz = 360.0  # deliberately far past any safe clock
+
+    print(f"requesting {request_mhz:g} MHz at every temperature step\n")
+    print(f"{'die C':>6} {'authorised MHz':>15} {'latency us':>11} "
+          f"{'MB/s':>8} {'CRC':>10}")
+    print("-" * 56)
+    for temp in (40.0, 55.0, 70.0, 85.0, 100.0):
+        system.set_die_temperature(temp)
+        governed = governor.reconfigure(system, "RP1", asp, request_mhz)
+        result = governed.result
+        print(
+            f"{temp:>6.0f} {governed.authorised_mhz:>15.1f} "
+            f"{result.latency_us:>11.1f} {result.throughput_mb_s:>8.1f} "
+            f"{'valid' if result.crc_valid else 'NOT VALID':>10}"
+        )
+
+    stats = summarize_results(system.results)
+    print(
+        f"\n{stats['total']} transfers, success rate "
+        f"{stats['success_rate']:.0%}, clamps applied: "
+        f"{governor.clamps_applied}"
+    )
+    print(
+        "Every run stayed valid: the governor traded a few MHz of the "
+        "open-loop ceiling for zero failures across the whole stress range."
+    )
+
+    # Contrast: the same request without governance, hot.
+    system.set_die_temperature(100.0)
+    ungoverned = system.reconfigure("RP2", asp, request_mhz)
+    print(
+        f"\nungoverned control run at {request_mhz:g} MHz / 100 C: "
+        f"CRC {'valid' if ungoverned.crc_valid else 'NOT VALID'} "
+        f"(the open-loop failure the governor prevents)"
+    )
+
+
+if __name__ == "__main__":
+    main()

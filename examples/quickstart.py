@@ -1,0 +1,43 @@
+"""Quickstart: over-clocked dynamic partial reconfiguration in 30 lines.
+
+Builds the paper's Fig. 2 system, loads an AES-128 engine into a
+reconfigurable partition at the nominal 100 MHz and again at the
+over-clocked 200 MHz sweet spot, and shows the latency win plus the fact
+that the partition *really* computes AES afterwards.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import PdrSystem
+from repro.fabric import Aes128Asp
+
+
+def main() -> None:
+    system = PdrSystem()
+    aes = Aes128Asp([0x00010203, 0x04050607, 0x08090A0B, 0x0C0D0E0F])
+
+    nominal = system.reconfigure("RP1", aes, freq_mhz=100.0)
+    boosted = system.reconfigure("RP1", aes, freq_mhz=200.0)
+
+    print("Partial reconfiguration of RP1 with an AES-128 engine")
+    print(f"  nominal 100 MHz : {nominal.latency_us:8.1f} us "
+          f"({nominal.throughput_mb_s:6.1f} MB/s)")
+    print(f"  boosted 200 MHz : {boosted.latency_us:8.1f} us "
+          f"({boosted.throughput_mb_s:6.1f} MB/s)")
+    print(f"  speedup         : {nominal.latency_us / boosted.latency_us:8.2f}x")
+    print(f"  read-back CRC   : {'valid' if boosted.crc_valid else 'NOT VALID'}")
+
+    # The reconfigured region is functional: FIPS-197 test vector.
+    plaintext = [0x00112233, 0x44556677, 0x8899AABB, 0xCCDDEEFF]
+    ciphertext = system.run_asp("RP1", plaintext)
+    print("\nAES-128 on the reconfigured fabric:")
+    print("  plaintext :", " ".join(f"{w:08x}" for w in plaintext))
+    print("  ciphertext:", " ".join(f"{w:08x}" for w in ciphertext))
+    assert ciphertext == [0x69C4E0D8, 0x6A7B0430, 0xD8CDB780, 0x70B4C55A]
+
+    print("\nOLED panel after the last run:")
+    print(system.oled.render())
+
+
+if __name__ == "__main__":
+    main()

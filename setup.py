@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package, so PEP 517 editable
+installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` use the classic
+setuptools develop path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""repro — reproduction of "Robust Throughput Boosting for Low Latency
+Dynamic Partial Reconfiguration" (Nannarelli et al., SOCC 2017).
+
+The package simulates the paper's complete hardware/software stack — a
+Zynq-7000-class SoC with over-clocked DMA + ICAP partial reconfiguration —
+and regenerates every table and figure of the paper's evaluation.
+
+High-level entry points (re-exported here for convenience)::
+
+    from repro import PdrSystem, HllFramework, SramPrSystem
+
+* :class:`PdrSystem` — the Fig. 2 over-clocked PDR architecture.
+* :class:`HllFramework` — the Fig. 1 acceleration framework
+  (four reconfigurable partitions, per-RP DMA and clocks).
+* :class:`SramPrSystem` — the §VI proposed SRAM-based system.
+* :mod:`repro.experiments` — one harness per paper table/figure
+  (also on the command line as ``repro-pdr``).
+"""
+
+from .core import HllFramework, PdrSystem
+from .sram_pr import SramPrSystem
+
+__version__ = "1.0.0"
+
+__all__ = ["HllFramework", "PdrSystem", "SramPrSystem", "__version__"]

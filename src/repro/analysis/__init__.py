@@ -1,0 +1,16 @@
+"""Series utilities, change-point (knee) detection and ASCII plotting."""
+
+from .asciiplot import render_plot
+from .series import Series, knee_frequency, linear_fit
+from .stats import Summary, group_results_by_frequency, summarize, summarize_results
+
+__all__ = [
+    "Series",
+    "Summary",
+    "group_results_by_frequency",
+    "knee_frequency",
+    "linear_fit",
+    "render_plot",
+    "summarize",
+    "summarize_results",
+]

@@ -1,0 +1,75 @@
+"""Terminal line/scatter plots for the experiment harnesses.
+
+The paper's Fig. 5 and Fig. 6 are reproduced as data series; these
+renderers give them a human-readable shape directly in the terminal
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .series import Series
+
+__all__ = ["render_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def render_plot(
+    series_list: Sequence[Series],
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more series into an ASCII grid with axes and legend."""
+    populated = [s for s in series_list if len(s)]
+    if not populated:
+        return f"{title}\n(no data)"
+    all_x = [x for s in populated for x in s.x]
+    all_y = [y for s in populated for y in s.y]
+    x_min, x_max = min(all_x), max(all_x)
+    y_min, y_max = min(all_y), max(all_y)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    # Pad the y range slightly so extreme points are not on the frame.
+    pad = (y_max - y_min) * 0.05
+    y_min -= pad
+    y_max += pad
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        col = int(round((x - x_min) / (x_max - x_min) * (width - 1)))
+        row = int(round((y - y_min) / (y_max - y_min) * (height - 1)))
+        grid[height - 1 - row][col] = marker
+
+    for index, series in enumerate(populated):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(series.x, series.y):
+            place(x, y, marker)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title.center(width + 10))
+    for row_index, row in enumerate(grid):
+        value = y_max - (y_max - y_min) * row_index / (height - 1)
+        lines.append(f"{value:9.1f} |" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    left = f"{x_min:g}"
+    right = f"{x_max:g}"
+    gap = width - len(left) - len(right)
+    lines.append(" " * 11 + left + " " * max(gap, 1) + right)
+    if x_label:
+        lines.append(x_label.center(width + 10))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {s.name}" for i, s in enumerate(populated)
+    )
+    if y_label:
+        legend = f"y: {y_label}   {legend}"
+    lines.append(legend)
+    return "\n".join(lines)

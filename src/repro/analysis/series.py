@@ -1,0 +1,95 @@
+"""Data series utilities for the experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["Series", "knee_frequency", "linear_fit"]
+
+
+@dataclass
+class Series:
+    """A named (x, y) series with optional per-point labels."""
+
+    name: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+    labels: List[str] = field(default_factory=list)
+
+    def append(self, x: float, y: float, label: str = "") -> None:
+        self.x.append(float(x))
+        self.y.append(float(y))
+        self.labels.append(label)
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def points(self) -> List[Tuple[float, float]]:
+        return list(zip(self.x, self.y))
+
+    def to_csv(self, x_name: str = "x", y_name: str = "y") -> str:
+        lines = [f"{x_name},{y_name}"]
+        lines.extend(f"{x:g},{y:g}" for x, y in zip(self.x, self.y))
+        return "\n".join(lines) + "\n"
+
+
+def linear_fit(x: Sequence[float], y: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares (slope, intercept); raises on degenerate input."""
+    if len(x) != len(y):
+        raise ValueError("x and y must be the same length")
+    n = len(x)
+    if n < 2:
+        raise ValueError("need at least two points to fit a line")
+    mean_x = sum(x) / n
+    mean_y = sum(y) / n
+    sxx = sum((xi - mean_x) ** 2 for xi in x)
+    if sxx == 0:
+        raise ValueError("x values are all identical")
+    sxy = sum((xi - mean_x) * (yi - mean_y) for xi, yi in zip(x, y))
+    slope = sxy / sxx
+    return slope, mean_y - slope * mean_x
+
+
+def knee_frequency(
+    x: Sequence[float], y: Sequence[float], min_points: int = 2
+) -> Optional[float]:
+    """The x where a rising curve bends into saturation (Fig. 5's knee).
+
+    Tries every split point, fits lines to the left and right segments,
+    and returns the split minimising total squared error — the classic
+    two-segment change-point fit.  Returns ``None`` if the series is too
+    short or never flattens (right slope not materially below left).
+    """
+    n = len(x)
+    if n != len(y):
+        raise ValueError("x and y must be the same length")
+    if n < 2 * min_points + 1:
+        return None
+    pairs = sorted(zip(x, y))
+    xs = [p[0] for p in pairs]
+    ys = [p[1] for p in pairs]
+
+    def sse(lo: int, hi: int) -> float:
+        slope, intercept = linear_fit(xs[lo:hi], ys[lo:hi])
+        return sum(
+            (ys[i] - (slope * xs[i] + intercept)) ** 2 for i in range(lo, hi)
+        )
+
+    best_split = None
+    best_error = float("inf")
+    for split in range(min_points, n - min_points + 1):
+        try:
+            error = sse(0, split) + sse(split - 1, n)
+        except ValueError:
+            continue
+        if error < best_error:
+            best_error = error
+            best_split = split
+    if best_split is None:
+        return None
+    left_slope, _ = linear_fit(xs[:best_split], ys[:best_split])
+    right_slope, _ = linear_fit(xs[best_split - 1 :], ys[best_split - 1 :])
+    if left_slope <= 0 or right_slope > 0.5 * left_slope:
+        return None  # no saturation: the curve never bends
+    return xs[best_split - 1]

@@ -1,0 +1,83 @@
+"""Descriptive statistics over result collections.
+
+Summarises batches of :class:`~repro.core.results.ReconfigResult` (or any
+numeric sequence) for reports and examples: success rates, latency and
+throughput distributions, per-frequency grouping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["Summary", "summarize", "summarize_results", "group_results_by_frequency"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a numeric sample."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.2f} sd={self.stdev:.2f} "
+            f"min={self.minimum:.2f} max={self.maximum:.2f}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics; raises on an empty sample."""
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    count = len(data)
+    mean = sum(data) / count
+    variance = sum((x - mean) ** 2 for x in data) / count if count > 1 else 0.0
+    return Summary(
+        count=count,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=min(data),
+        maximum=max(data),
+    )
+
+
+def summarize_results(results: Iterable) -> Dict[str, object]:
+    """Aggregate a collection of ReconfigResults.
+
+    Returns success/interrupt/CRC rates plus latency, throughput and
+    power summaries over the successful transfers.
+    """
+    results = list(results)
+    if not results:
+        raise ValueError("no results to summarize")
+    successes = [r for r in results if r.succeeded]
+    latencies = [r.latency_us for r in successes if r.latency_us is not None]
+    throughputs = [
+        r.throughput_mb_s for r in successes if r.throughput_mb_s is not None
+    ]
+    out: Dict[str, object] = {
+        "total": len(results),
+        "success_rate": len(successes) / len(results),
+        "interrupt_rate": sum(1 for r in results if r.interrupt_seen) / len(results),
+        "crc_valid_rate": sum(1 for r in results if r.crc_valid) / len(results),
+    }
+    out["latency_us"] = summarize(latencies) if latencies else None
+    out["throughput_mb_s"] = summarize(throughputs) if throughputs else None
+    powers = [r.pdr_power_w for r in results if r.pdr_power_w > 0]
+    out["pdr_power_w"] = summarize(powers) if powers else None
+    return out
+
+
+def group_results_by_frequency(results: Iterable) -> Dict[float, List]:
+    """Bucket results by their achieved frequency (Table-I-style views)."""
+    grouped: Dict[float, List] = {}
+    for result in results:
+        grouped.setdefault(result.freq_mhz, []).append(result)
+    return dict(sorted(grouped.items()))

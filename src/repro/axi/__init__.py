@@ -1,0 +1,17 @@
+"""AMBA AXI bus models: stream links, Lite register files, the
+memory-mapped interconnect and the Zynq PS↔PL ports."""
+
+from .interconnect import AxiInterconnect
+from .lite import AxiLiteError, AxiLiteRegisterFile
+from .ports import AxiAcpPort, AxiHpPort
+from .stream import AxiStream, StreamBurst
+
+__all__ = [
+    "AxiAcpPort",
+    "AxiHpPort",
+    "AxiInterconnect",
+    "AxiLiteError",
+    "AxiLiteRegisterFile",
+    "AxiStream",
+    "StreamBurst",
+]

@@ -1,0 +1,115 @@
+"""AXI4-Lite register-file model.
+
+Control-plane accesses (the PS programming the DMA, reading status, the
+Clock Wizard's configuration registers) go through AXI4-Lite.  The model
+provides a register map with read/write hooks and a fixed per-access
+latency, which is negligible against transfer times but keeps the
+software/hardware interaction honest in the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..sim import ClockDomain, Event, Simulator
+
+__all__ = ["AxiLiteRegisterFile", "AxiLiteError"]
+
+
+class AxiLiteError(RuntimeError):
+    """DECERR/SLVERR-style response: bad address or forbidden access."""
+
+
+class AxiLiteRegisterFile:
+    """A 32-bit register file reachable over AXI4-Lite.
+
+    Registers are declared with :meth:`define`; optional hooks observe
+    writes (``on_write(value)``) and synthesise read values
+    (``on_read() -> value``), letting hardware blocks expose live status.
+    """
+
+    #: AXI-Lite single-beat access cost in bus cycles (address + data + resp).
+    ACCESS_CYCLES = 5
+
+    def __init__(self, sim: Simulator, clock: ClockDomain, name: str = "regs"):
+        self.sim = sim
+        self.clock = clock
+        self.name = name
+        self._values: Dict[int, int] = {}
+        self._write_hooks: Dict[int, Callable[[int], None]] = {}
+        self._read_hooks: Dict[int, Callable[[], int]] = {}
+        self._read_only: Dict[int, bool] = {}
+        self.reads = 0
+        self.writes = 0
+
+    # -- declaration -----------------------------------------------------------
+    def define(
+        self,
+        offset: int,
+        reset: int = 0,
+        on_write: Optional[Callable[[int], None]] = None,
+        on_read: Optional[Callable[[], int]] = None,
+        read_only: bool = False,
+    ) -> None:
+        if offset % 4:
+            raise ValueError(f"register offset {offset:#x} not word aligned")
+        if offset in self._values:
+            raise ValueError(f"register {offset:#x} already defined in {self.name}")
+        self._values[offset] = reset & 0xFFFFFFFF
+        if on_write:
+            self._write_hooks[offset] = on_write
+        if on_read:
+            self._read_hooks[offset] = on_read
+        self._read_only[offset] = read_only
+
+    # -- zero-time accessors (used by hardware internals) -------------------------
+    def peek(self, offset: int) -> int:
+        self._check(offset)
+        hook = self._read_hooks.get(offset)
+        return hook() & 0xFFFFFFFF if hook else self._values[offset]
+
+    def poke(self, offset: int, value: int) -> None:
+        """Hardware-internal update (no bus transaction, no hooks)."""
+        self._check(offset)
+        self._values[offset] = value & 0xFFFFFFFF
+
+    # -- bus transactions (timed) ---------------------------------------------
+    def read(self, offset: int) -> Event:
+        """Timed AXI-Lite read; event value is the register value."""
+        self._check(offset)
+        self.reads += 1
+        event = self.sim.event(name=f"{self.name}.read")
+
+        def transaction():
+            yield self.clock.wait_cycles(self.ACCESS_CYCLES)
+            event.succeed(self.peek(offset))
+
+        self.sim.process(transaction(), name=f"{self.name}.read@{offset:#x}")
+        return event
+
+    def write(self, offset: int, value: int) -> Event:
+        """Timed AXI-Lite write; fires when the write lands."""
+        self._check(offset)
+        if self._read_only.get(offset):
+            raise AxiLiteError(f"{self.name}: register {offset:#x} is read-only")
+        self.writes += 1
+        event = self.sim.event(name=f"{self.name}.write")
+
+        def transaction():
+            yield self.clock.wait_cycles(self.ACCESS_CYCLES)
+            self._values[offset] = value & 0xFFFFFFFF
+            hook = self._write_hooks.get(offset)
+            if hook:
+                hook(value & 0xFFFFFFFF)
+            event.succeed(value & 0xFFFFFFFF)
+
+        self.sim.process(transaction(), name=f"{self.name}.write@{offset:#x}")
+        return event
+
+    # -- internals ----------------------------------------------------------
+    def _check(self, offset: int) -> None:
+        if offset not in self._values:
+            raise AxiLiteError(
+                f"{self.name}: no register at {offset:#x} "
+                f"(have {sorted(hex(o) for o in self._values)})"
+            )

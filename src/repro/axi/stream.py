@@ -1,0 +1,101 @@
+"""AXI4-Stream link model.
+
+Data moves as *bursts* of 32-bit words (a burst is the unit of DMA
+scheduling; beat-level timing is charged by the producer/consumer clocks,
+not per-event, to keep the discrete-event load tractable).  The stream has
+a bounded FIFO — exactly the DMA's internal stream buffer — so
+backpressure propagates: a slow consumer (the ICAP at low clock) stalls
+the producer (the memory-side read engine), and vice versa.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..sim import Channel, Event, Simulator
+
+__all__ = ["StreamBurst", "AxiStream"]
+
+
+@dataclass
+class StreamBurst:
+    """One TLAST-delimited group of words on the stream."""
+
+    words: List[int]
+    last: bool = False
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.words) * 4
+
+
+class AxiStream:
+    """A 32-bit AXI4-Stream channel with a bounded word FIFO."""
+
+    WORD_BYTES = 4
+
+    def __init__(self, sim: Simulator, fifo_words: int = 1024, name: str = "axis"):
+        if fifo_words < 1:
+            raise ValueError("stream FIFO must hold at least one word")
+        self.sim = sim
+        self.name = name
+        self.fifo_words = fifo_words
+        self._bursts: Channel = Channel(sim, name=f"{name}.bursts")
+        self._free_words = fifo_words
+        self._space_waiters: List[Tuple[int, Event]] = []
+        self.total_words = 0
+
+    # -- producer side ---------------------------------------------------------
+    def reserve(self, words: int) -> Event:
+        """Wait until the FIFO has room for ``words`` more words."""
+        if words > self.fifo_words:
+            raise ValueError(
+                f"burst of {words} words exceeds FIFO depth {self.fifo_words}"
+            )
+        event = self.sim.event(name=f"{self.name}.reserve")
+        if self._free_words >= words and not self._space_waiters:
+            self._free_words -= words
+            event.succeed()
+        else:
+            self._space_waiters.append((words, event))
+        return event
+
+    def push(self, burst: StreamBurst) -> None:
+        """Enqueue a burst whose space was previously reserved."""
+        self.total_words += len(burst.words)
+        self._bursts.try_put(burst)
+
+    # -- consumer side ---------------------------------------------------------
+    def pop(self) -> Event:
+        """Wait for the next burst; value is the :class:`StreamBurst`."""
+        return self._bursts.get()
+
+    def release(self, words: int) -> None:
+        """Return consumed words to the FIFO space pool."""
+        self._free_words += words
+        if self._free_words > self.fifo_words:
+            raise AssertionError(f"{self.name}: released more words than consumed")
+        while self._space_waiters:
+            need, event = self._space_waiters[0]
+            if self._free_words < need:
+                break
+            self._space_waiters.pop(0)
+            self._free_words -= need
+            event.succeed()
+
+    # -- inspection ---------------------------------------------------------------
+    @property
+    def queued_bursts(self) -> int:
+        return self._bursts.level
+
+    @property
+    def free_words(self) -> int:
+        return self._free_words
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<AxiStream {self.name}: {self.fifo_words - self._free_words}"
+            f"/{self.fifo_words} words queued>"
+        )

@@ -1,0 +1,19 @@
+"""Related-work reconfiguration controllers (paper §V / Table III)."""
+
+from .base import BaselineResult, ReconfigController, TransferOutcome
+from .hkt2011 import Hkt2011Controller
+from .hp2011 import Hp2011Controller
+from .pcap_baseline import PcapBaselineController
+from .this_work import ThisWorkController
+from .vf2012 import Vf2012Controller
+
+__all__ = [
+    "BaselineResult",
+    "Hkt2011Controller",
+    "Hp2011Controller",
+    "PcapBaselineController",
+    "ReconfigController",
+    "ThisWorkController",
+    "TransferOutcome",
+    "Vf2012Controller",
+]

@@ -1,0 +1,83 @@
+"""Common interface for related-work reconfiguration controllers.
+
+Each §V comparison point (VF-2012, HP-2011, HKT-2011) plus the PCAP
+reference implements :class:`ReconfigController`: given a bitstream size
+and a requested ICAP clock, it reports the transfer outcome — success
+with a latency, a failed (corrupted) transfer, a frozen fabric, or a
+clamped request — according to that design's published behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["TransferOutcome", "BaselineResult", "ReconfigController"]
+
+
+class TransferOutcome:
+    """What happened to the transfer."""
+
+    OK = "ok"
+    FAILED = "failed"            #: transfer corrupted / did not complete
+    FROZE = "froze"              #: the whole fabric wedged (power cycle!)
+    CLAMPED = "clamped"          #: controller refused the frequency and
+    #: ran at its safe maximum instead (HP-2011's active feedback)
+
+
+@dataclass
+class BaselineResult:
+    """One transfer attempt through a baseline controller."""
+
+    design: str
+    platform: str
+    requested_mhz: float
+    effective_mhz: float
+    bitstream_bytes: int
+    outcome: str
+    latency_us: Optional[float] = None
+    has_crc_check: bool = False
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def throughput_mb_s(self) -> Optional[float]:
+        if self.latency_us is None or self.latency_us <= 0:
+            return None
+        return self.bitstream_bytes / self.latency_us
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome in (TransferOutcome.OK, TransferOutcome.CLAMPED)
+
+
+class ReconfigController:
+    """Base class for baseline controller models."""
+
+    #: Human-readable design tag as used in the paper's Table III.
+    design = "base"
+    #: FPGA family the original work used.
+    platform = "unknown"
+    #: Publication year (for the comparison narrative).
+    year = 0
+    #: Does the design verify the configuration after transfer?
+    has_crc_check = False
+    #: Nominal (specification) ICAP clock in MHz.
+    nominal_mhz = 100.0
+
+    def transfer(self, bitstream_bytes: int, freq_mhz: float) -> BaselineResult:
+        """Attempt one reconfiguration; never raises for timing failures."""
+        raise NotImplementedError
+
+    def max_working_mhz(self) -> float:
+        """Highest clock at which transfers still succeed."""
+        raise NotImplementedError
+
+    def table3_operating_point(self) -> float:
+        """The frequency the paper's Table III quotes for this design."""
+        raise NotImplementedError
+
+    def _result(self, **kwargs) -> BaselineResult:
+        kwargs.setdefault("design", self.design)
+        kwargs.setdefault("platform", self.platform)
+        kwargs.setdefault("has_crc_check", self.has_crc_check)
+        return BaselineResult(**kwargs)

@@ -1,0 +1,74 @@
+"""HKT-2011: Hansen, Koch & Torresen's enhanced ICAP hard macro.
+
+Published behaviour ([12], as summarised in the paper's §V):
+
+* an enhanced hard macro drives the ICAP at 550 MHz → 2 200 MB/s;
+* the system has **no processor**; bitstreams (up to ~50 KB) are
+  pre-buffered in an on-chip FIFO;
+* the paper questions whether 2 200 MB/s is sustainable for ~1.4 MB
+  bitstreams that must come through a DMA.
+
+The model exposes exactly that asymmetry: transfers that fit in the FIFO
+run at the full hard-macro rate; larger ones are refilled from external
+memory and degrade toward the refill bandwidth.
+"""
+
+from __future__ import annotations
+
+from .base import BaselineResult, ReconfigController, TransferOutcome
+
+__all__ = ["Hkt2011Controller"]
+
+
+class Hkt2011Controller(ReconfigController):
+    design = "HKT-2011"
+    platform = "Virtex-5"
+    year = 2011
+    has_crc_check = False
+    nominal_mhz = 100.0
+
+    #: Hard-macro rate: 4 B/cycle at 550 MHz.
+    MACRO_MHZ = 550.0
+    FIFO_BYTES = 50 * 1024
+    #: External refill path for bitstreams beyond the FIFO (MB/s): a
+    #: memory-to-FIFO DMA comparable to the Zynq HP path.
+    REFILL_MB_S = 800.0
+    SETUP_US = 0.2  # no processor: a trigger pulse starts the transfer
+
+    def transfer(self, bitstream_bytes: int, freq_mhz: float) -> BaselineResult:
+        if bitstream_bytes <= 0 or freq_mhz <= 0:
+            raise ValueError("bitstream size and frequency must be positive")
+        effective = min(freq_mhz, self.MACRO_MHZ)
+        macro_rate = 4.0 * effective  # MB/s
+        notes = []
+        if freq_mhz > self.MACRO_MHZ:
+            notes.append(f"hard macro tops out at {self.MACRO_MHZ:g} MHz")
+
+        if bitstream_bytes <= self.FIFO_BYTES:
+            latency_us = self.SETUP_US + bitstream_bytes / macro_rate
+        else:
+            # FIFO-resident head at macro rate; the tail is refill-bound.
+            head = self.FIFO_BYTES
+            tail = bitstream_bytes - head
+            tail_rate = min(macro_rate, self.REFILL_MB_S)
+            latency_us = (
+                self.SETUP_US + head / macro_rate + tail / tail_rate
+            )
+            notes.append(
+                f"bitstream exceeds the {self.FIFO_BYTES // 1024} KB FIFO: "
+                f"tail refilled at {tail_rate:g} MB/s"
+            )
+        return self._result(
+            requested_mhz=freq_mhz,
+            effective_mhz=effective,
+            bitstream_bytes=bitstream_bytes,
+            outcome=TransferOutcome.OK,
+            latency_us=latency_us,
+            notes=notes,
+        )
+
+    def max_working_mhz(self) -> float:
+        return self.MACRO_MHZ
+
+    def table3_operating_point(self) -> float:
+        return 550.0

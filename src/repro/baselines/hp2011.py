@@ -1,0 +1,60 @@
+"""HP-2011: Hoffman & Pattichis' multiport-memory-controller design.
+
+Published behaviour ([11], as summarised in the paper's §V):
+
+* ICAP fed by DMA through a multi-port memory controller on Virtex-5;
+* ~420 MB/s maximum at 133 MHz (the MPMC path costs some efficiency:
+  419/133 ≈ 3.15 B/cycle);
+* over-clocking with **active feedback**: on-chip voltage/temperature
+  monitors keep the device within nominal ranges — requests beyond the
+  feedback ceiling are *clamped*, not allowed to fail.  Robust, but it
+  leaves the head-room the paper's approach exploits.
+"""
+
+from __future__ import annotations
+
+from .base import BaselineResult, ReconfigController, TransferOutcome
+
+__all__ = ["Hp2011Controller"]
+
+
+class Hp2011Controller(ReconfigController):
+    design = "HP-2011"
+    platform = "Virtex-5"
+    year = 2011
+    has_crc_check = False
+    nominal_mhz = 100.0
+
+    #: 419 MB/s at 133 MHz through the multi-port memory controller.
+    BYTES_PER_CYCLE = 419.0 / 133.0
+    #: Active feedback ceiling: the monitors clamp the clock here.
+    FEEDBACK_LIMIT_MHZ = 133.0
+    SETUP_US = 2.0
+
+    def transfer(self, bitstream_bytes: int, freq_mhz: float) -> BaselineResult:
+        if bitstream_bytes <= 0 or freq_mhz <= 0:
+            raise ValueError("bitstream size and frequency must be positive")
+        effective = min(freq_mhz, self.FEEDBACK_LIMIT_MHZ)
+        clamped = effective < freq_mhz
+        throughput = self.BYTES_PER_CYCLE * effective  # MB/s
+        latency_us = self.SETUP_US + bitstream_bytes / throughput
+        notes = []
+        if clamped:
+            notes.append(
+                f"active feedback clamped {freq_mhz:g} MHz to "
+                f"{effective:g} MHz (device kept within nominal ranges)"
+            )
+        return self._result(
+            requested_mhz=freq_mhz,
+            effective_mhz=effective,
+            bitstream_bytes=bitstream_bytes,
+            outcome=TransferOutcome.CLAMPED if clamped else TransferOutcome.OK,
+            latency_us=latency_us,
+            notes=notes,
+        )
+
+    def max_working_mhz(self) -> float:
+        return self.FEEDBACK_LIMIT_MHZ
+
+    def table3_operating_point(self) -> float:
+        return 133.0

@@ -1,0 +1,47 @@
+"""PCAP reference: the PS-driven configuration path.
+
+Not in the paper's Table III, but the natural "do nothing clever"
+baseline on Zynq: partial reconfiguration through the DevC/PCAP driver at
+~145 MB/s effective.  It contextualises every PL-side controller's win.
+"""
+
+from __future__ import annotations
+
+from ..ps.pcap import Pcap
+
+from .base import BaselineResult, ReconfigController, TransferOutcome
+
+__all__ = ["PcapBaselineController"]
+
+
+class PcapBaselineController(ReconfigController):
+    design = "PCAP"
+    platform = "Zynq-7000"
+    year = 2012
+    has_crc_check = False
+    nominal_mhz = 100.0  # the PCAP clock is fixed; requests are ignored
+
+    EFFECTIVE_MB_S = Pcap.EFFECTIVE_RATE * 1e3
+    SETUP_US = Pcap.SETUP_NS / 1e3
+
+    def transfer(self, bitstream_bytes: int, freq_mhz: float) -> BaselineResult:
+        if bitstream_bytes <= 0 or freq_mhz <= 0:
+            raise ValueError("bitstream size and frequency must be positive")
+        latency_us = self.SETUP_US + bitstream_bytes / self.EFFECTIVE_MB_S
+        notes = []
+        if freq_mhz != self.nominal_mhz:
+            notes.append("PCAP clock is PS-fixed; frequency request ignored")
+        return self._result(
+            requested_mhz=freq_mhz,
+            effective_mhz=self.nominal_mhz,
+            bitstream_bytes=bitstream_bytes,
+            outcome=TransferOutcome.OK,
+            latency_us=latency_us,
+            notes=notes,
+        )
+
+    def max_working_mhz(self) -> float:
+        return self.nominal_mhz
+
+    def table3_operating_point(self) -> float:
+        return self.nominal_mhz

@@ -1,0 +1,68 @@
+"""VF-2012: Vipin & Fahmy's over-clocked open-source ICAP controller.
+
+Published behaviour ([10], as summarised in the paper's §V):
+
+* 400 MB/s at the nominal 100 MHz, scaling linearly ("nicely") to
+  838.55 MB/s at 210 MHz — a tightly-coupled BRAM-fed datapath with no
+  DMA/DRAM bottleneck in the measured range;
+* above 210 MHz the reconfiguration fails;
+* above 300 MHz, *initiating* a reconfiguration freezes the whole FPGA;
+* no CRC verification.
+"""
+
+from __future__ import annotations
+
+from .base import BaselineResult, ReconfigController, TransferOutcome
+
+__all__ = ["Vf2012Controller"]
+
+
+class Vf2012Controller(ReconfigController):
+    design = "VF-2012"
+    platform = "Virtex-6"
+    year = 2012
+    has_crc_check = False
+    nominal_mhz = 100.0
+
+    #: Measured scaling: 838.55 MB/s at 210 MHz -> 3.9931 B/cycle
+    #: (a per-transfer handshake keeps it a hair under the 4 B/cycle ideal).
+    BYTES_PER_CYCLE = 838.55 / 210.0
+    FAIL_ABOVE_MHZ = 210.0
+    FREEZE_ABOVE_MHZ = 300.0
+    #: Controller setup before streaming starts (µs).
+    SETUP_US = 1.0
+
+    def transfer(self, bitstream_bytes: int, freq_mhz: float) -> BaselineResult:
+        if bitstream_bytes <= 0 or freq_mhz <= 0:
+            raise ValueError("bitstream size and frequency must be positive")
+        if freq_mhz > self.FREEZE_ABOVE_MHZ:
+            return self._result(
+                requested_mhz=freq_mhz,
+                effective_mhz=freq_mhz,
+                bitstream_bytes=bitstream_bytes,
+                outcome=TransferOutcome.FROZE,
+                notes=["initiating reconfiguration froze the FPGA (power cycle)"],
+            )
+        if freq_mhz > self.FAIL_ABOVE_MHZ:
+            return self._result(
+                requested_mhz=freq_mhz,
+                effective_mhz=freq_mhz,
+                bitstream_bytes=bitstream_bytes,
+                outcome=TransferOutcome.FAILED,
+                notes=["reconfiguration fails above 210 MHz; no CRC to flag it"],
+            )
+        throughput = self.BYTES_PER_CYCLE * freq_mhz  # MB/s
+        latency_us = self.SETUP_US + bitstream_bytes / throughput
+        return self._result(
+            requested_mhz=freq_mhz,
+            effective_mhz=freq_mhz,
+            bitstream_bytes=bitstream_bytes,
+            outcome=TransferOutcome.OK,
+            latency_us=latency_us,
+        )
+
+    def max_working_mhz(self) -> float:
+        return self.FAIL_ABOVE_MHZ
+
+    def table3_operating_point(self) -> float:
+        return 210.0

@@ -1,0 +1,87 @@
+"""7-series-style configuration bitstream format.
+
+Provides frame addressing (:class:`FrameAddress`), the device layout and RP
+floorplan (:class:`DeviceLayout`), packet encoding, the configuration CRC,
+a partial-bitstream builder/parser pair, and the run-length compressor used
+by the proposed §VI environment.
+"""
+
+from .builder import Bitstream, BitstreamBuilder
+from .compress import (
+    CompressedFormatError,
+    compress_words,
+    compression_ratio,
+    decompress_words,
+)
+from .crc import ConfigCrc, crc32c_bytes, crc32c_words
+from .device import (
+    FRAME_BYTES,
+    FRAME_WORDS,
+    ColumnType,
+    DeviceLayout,
+    RegionSpec,
+    Z7020_IDCODE,
+    make_z7020_layout,
+)
+from .far import BLOCK_TYPE_BRAM_CONTENT, BLOCK_TYPE_MAIN, FrameAddress
+from .packets import (
+    BUS_WIDTH_DETECT_WORD,
+    BUS_WIDTH_SYNC_WORD,
+    DUMMY_WORD,
+    NOOP_WORD,
+    OP_NOP,
+    OP_READ,
+    OP_WRITE,
+    SYNC_WORD,
+    PacketHeader,
+    decode_header,
+    type1,
+    type2,
+)
+from .parser import (
+    BitstreamFormatError,
+    BitstreamParser,
+    ParsedBitstream,
+    WriteOp,
+)
+from .registers import Command, ConfigRegister
+
+__all__ = [
+    "BLOCK_TYPE_BRAM_CONTENT",
+    "BLOCK_TYPE_MAIN",
+    "BUS_WIDTH_DETECT_WORD",
+    "BUS_WIDTH_SYNC_WORD",
+    "Bitstream",
+    "BitstreamBuilder",
+    "BitstreamFormatError",
+    "BitstreamParser",
+    "ColumnType",
+    "Command",
+    "CompressedFormatError",
+    "ConfigCrc",
+    "ConfigRegister",
+    "DUMMY_WORD",
+    "DeviceLayout",
+    "FRAME_BYTES",
+    "FRAME_WORDS",
+    "FrameAddress",
+    "NOOP_WORD",
+    "OP_NOP",
+    "OP_READ",
+    "OP_WRITE",
+    "PacketHeader",
+    "ParsedBitstream",
+    "RegionSpec",
+    "SYNC_WORD",
+    "WriteOp",
+    "Z7020_IDCODE",
+    "compress_words",
+    "compression_ratio",
+    "crc32c_bytes",
+    "crc32c_words",
+    "decode_header",
+    "decompress_words",
+    "make_z7020_layout",
+    "type1",
+    "type2",
+]

@@ -1,0 +1,289 @@
+"""Partial-bitstream construction.
+
+:class:`BitstreamBuilder` emits a 7-series-style configuration stream for
+one reconfigurable partition: sync header, IDCODE check, CRC reset, a FAR
+write targeting the first frame of the region, a single large type-2 FDRI
+write carrying every frame (plus the flush pad frame), the final CRC word
+and the DESYNC trailer.  The stream is optionally NOOP-padded to an exact
+byte size, as vendor tools do.
+
+The builder computes the configuration CRC exactly the way the simulated
+device (:mod:`repro.icap.primitive`) folds it, so a built bitstream always
+passes the device's CRC check unless it is corrupted in flight.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .crc import ConfigCrc
+from .device import FRAME_WORDS, DeviceLayout
+from .packets import (
+    BUS_WIDTH_DETECT_WORD,
+    BUS_WIDTH_SYNC_WORD,
+    DUMMY_WORD,
+    NOOP_WORD,
+    OP_WRITE,
+    SYNC_WORD,
+    type1,
+    type2,
+)
+from .registers import Command, ConfigRegister
+
+__all__ = ["Bitstream", "BitstreamBuilder"]
+
+
+@dataclass
+class Bitstream:
+    """A built configuration stream plus its provenance metadata."""
+
+    words: List[int]
+    region_name: str
+    frame_count: int
+    description: str = ""
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def word_count(self) -> int:
+        return len(self.words)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.words) * 4
+
+    def to_bytes(self) -> bytes:
+        """Serialise big-endian per word (configuration stream order)."""
+        return struct.pack(f">{len(self.words)}I", *self.words)
+
+    @classmethod
+    def from_bytes(
+        cls, data: bytes, region_name: str = "", description: str = ""
+    ) -> "Bitstream":
+        if len(data) % 4:
+            raise ValueError(f"bitstream byte length {len(data)} not word aligned")
+        words = list(struct.unpack(f">{len(data) // 4}I", data))
+        return cls(
+            words=words,
+            region_name=region_name,
+            frame_count=0,
+            description=description,
+        )
+
+    def corrupted(self, word_index: int, flip_mask: int = 0x1) -> "Bitstream":
+        """A copy with one word XOR-flipped (for fault-injection tests)."""
+        if not 0 <= word_index < len(self.words):
+            raise IndexError(f"word index {word_index} out of range")
+        words = list(self.words)
+        words[word_index] ^= flip_mask
+        return Bitstream(
+            words=words,
+            region_name=self.region_name,
+            frame_count=self.frame_count,
+            description=f"{self.description} (corrupted @{word_index})",
+            meta=dict(self.meta),
+        )
+
+
+class BitstreamBuilder:
+    """Builds partial bitstreams for a given device layout."""
+
+    def __init__(self, layout: DeviceLayout):
+        self.layout = layout
+
+    def build_full(
+        self,
+        frame_data: Optional[Sequence[Sequence[int]]] = None,
+        description: str = "",
+    ) -> Bitstream:
+        """Build a full-device (static) bitstream.
+
+        Writes every frame of the device starting at FAR 0.  Full
+        bitstreams are what the PCAP loads at boot (the ICAP cannot load
+        them — it is itself part of the PL).  ``frame_data`` defaults to
+        an all-blank device.
+        """
+        total = self.layout.total_frames
+        if frame_data is None:
+            frame_data = [[0] * FRAME_WORDS for _ in range(total)]
+        if len(frame_data) != total:
+            raise ValueError(
+                f"device has {total} frames, got {len(frame_data)}"
+            )
+        for i, frame in enumerate(frame_data):
+            if len(frame) != FRAME_WORDS:
+                raise ValueError(
+                    f"frame {i} has {len(frame)} words, expected {FRAME_WORDS}"
+                )
+
+        crc = ConfigCrc()
+        words: List[int] = []
+
+        def emit(word: int) -> None:
+            words.append(word & 0xFFFFFFFF)
+
+        def write_reg(register: ConfigRegister, value: int) -> None:
+            emit(type1(OP_WRITE, int(register), 1))
+            emit(value)
+            crc.update(int(register), value)
+
+        for _ in range(8):
+            emit(DUMMY_WORD)
+        emit(BUS_WIDTH_SYNC_WORD)
+        emit(BUS_WIDTH_DETECT_WORD)
+        emit(DUMMY_WORD)
+        emit(DUMMY_WORD)
+        emit(SYNC_WORD)
+        emit(NOOP_WORD)
+        write_reg(ConfigRegister.CMD, int(Command.RCRC))
+        crc.reset()
+        emit(NOOP_WORD)
+        emit(NOOP_WORD)
+        write_reg(ConfigRegister.IDCODE, self.layout.idcode)
+        write_reg(ConfigRegister.CMD, int(Command.WCFG))
+        emit(NOOP_WORD)
+        write_reg(ConfigRegister.FAR, self.layout.frame_address(0).encode())
+        emit(NOOP_WORD)
+
+        data_words: List[int] = []
+        for frame in frame_data:
+            data_words.extend(w & 0xFFFFFFFF for w in frame)
+        data_words.extend([0] * FRAME_WORDS)  # flush pad frame
+        emit(type1(OP_WRITE, int(ConfigRegister.FDRI), 0))
+        emit(type2(OP_WRITE, len(data_words)))
+        words.extend(data_words)
+        crc.update_run(int(ConfigRegister.FDRI), data_words)
+
+        expected_crc = crc.value
+        emit(type1(OP_WRITE, int(ConfigRegister.CRC), 1))
+        emit(expected_crc)
+        emit(NOOP_WORD)
+        write_reg(ConfigRegister.CMD, int(Command.DGHIGH_LFRM))
+        emit(NOOP_WORD)
+        write_reg(ConfigRegister.CMD, int(Command.START))
+        write_reg(ConfigRegister.CMD, int(Command.DESYNC))
+        for _ in range(4):
+            emit(NOOP_WORD)
+
+        return Bitstream(
+            words=words,
+            region_name="<full-device>",
+            frame_count=total,
+            description=description or "full static configuration",
+            meta={"expected_crc": expected_crc, "full": True},
+        )
+
+    def build_partial(
+        self,
+        region_name: str,
+        frame_data: Sequence[Sequence[int]],
+        pad_to_bytes: Optional[int] = None,
+        description: str = "",
+    ) -> Bitstream:
+        """Build a partial bitstream writing ``frame_data`` into a region.
+
+        Parameters
+        ----------
+        region_name:
+            Target reconfigurable partition (must exist in the layout).
+        frame_data:
+            One word-list per frame of the region, each exactly
+            :data:`FRAME_WORDS` long, in FDRI auto-increment order.
+        pad_to_bytes:
+            If given, append NOOP words after DESYNC until the stream is
+            exactly this many bytes (must be word-aligned and not smaller
+            than the unpadded stream).
+        """
+        frames = self.layout.region_frames(region_name)
+        if len(frame_data) != len(frames):
+            raise ValueError(
+                f"region {region_name} has {len(frames)} frames, "
+                f"got {len(frame_data)} frames of data"
+            )
+        for i, frame in enumerate(frame_data):
+            if len(frame) != FRAME_WORDS:
+                raise ValueError(
+                    f"frame {i} has {len(frame)} words, expected {FRAME_WORDS}"
+                )
+
+        crc = ConfigCrc()
+        words: List[int] = []
+
+        def emit(word: int) -> None:
+            words.append(word & 0xFFFFFFFF)
+
+        def write_reg(register: ConfigRegister, value: int) -> None:
+            emit(type1(OP_WRITE, int(register), 1))
+            emit(value)
+            crc.update(int(register), value)
+
+        # ---- header: dummy pad, bus-width detect, sync -------------------
+        for _ in range(8):
+            emit(DUMMY_WORD)
+        emit(BUS_WIDTH_SYNC_WORD)
+        emit(BUS_WIDTH_DETECT_WORD)
+        emit(DUMMY_WORD)
+        emit(DUMMY_WORD)
+        emit(SYNC_WORD)
+        emit(NOOP_WORD)
+
+        # ---- preamble: reset CRC, check device, enter write config -------
+        write_reg(ConfigRegister.CMD, int(Command.RCRC))
+        crc.reset()  # RCRC resets the accumulator (after folding itself)
+        emit(NOOP_WORD)
+        emit(NOOP_WORD)
+        write_reg(ConfigRegister.IDCODE, self.layout.idcode)
+        write_reg(ConfigRegister.CMD, int(Command.WCFG))
+        emit(NOOP_WORD)
+        write_reg(ConfigRegister.FAR, frames[0].encode())
+        emit(NOOP_WORD)
+
+        # ---- frame data: type1 FDRI (count 0) + type2 with all frames ----
+        data_words: List[int] = []
+        for frame in frame_data:
+            data_words.extend(frame)
+        # One pad frame flushes the device's frame buffer.
+        data_words.extend([0] * FRAME_WORDS)
+
+        emit(type1(OP_WRITE, int(ConfigRegister.FDRI), 0))
+        emit(type2(OP_WRITE, len(data_words)))
+        data_words = [w & 0xFFFFFFFF for w in data_words]
+        words.extend(data_words)
+        crc.update_run(int(ConfigRegister.FDRI), data_words)
+
+        # ---- trailer: CRC check, last frame, desync -----------------------
+        expected_crc = crc.value
+        emit(type1(OP_WRITE, int(ConfigRegister.CRC), 1))
+        emit(expected_crc)
+        emit(NOOP_WORD)
+        emit(NOOP_WORD)
+        write_reg(ConfigRegister.CMD, int(Command.DGHIGH_LFRM))
+        emit(NOOP_WORD)
+        emit(NOOP_WORD)
+        write_reg(ConfigRegister.CMD, int(Command.DESYNC))
+        for _ in range(4):
+            emit(NOOP_WORD)
+
+        # ---- optional exact-size padding -----------------------------------
+        if pad_to_bytes is not None:
+            if pad_to_bytes % 4:
+                raise ValueError(f"pad_to_bytes={pad_to_bytes} not word aligned")
+            if pad_to_bytes < len(words) * 4:
+                raise ValueError(
+                    f"pad_to_bytes={pad_to_bytes} smaller than stream "
+                    f"({len(words) * 4} bytes)"
+                )
+            words.extend([NOOP_WORD] * ((pad_to_bytes - len(words) * 4) // 4))
+
+        return Bitstream(
+            words=words,
+            region_name=region_name,
+            frame_count=len(frames),
+            description=description or f"partial for {region_name}",
+            meta={
+                "expected_crc": expected_crc,
+                "first_far": frames[0].encode(),
+                "data_words": len(data_words),
+            },
+        )

@@ -1,0 +1,141 @@
+"""Word-oriented bitstream compression (for the §VI decompressor).
+
+Partial bitstreams are dominated by zero words and repeated configuration
+words, so a simple run-length scheme achieves high ratios while keeping
+the hardware decompressor (``repro.sram_pr.decompressor``) trivially
+implementable at line rate.
+
+Compressed format (all 32-bit words, big-endian when serialised):
+
+====  =====================================================================
+word  meaning
+====  =====================================================================
+0     magic ``0x52424331`` ("RBC1")
+1     original word count
+2     CRC-32C of the original words
+3..   tokens
+====  =====================================================================
+
+Token control word: opcode in bits [31:24], run length in bits [23:0].
+
+* ``0x00`` — literal run: the next *length* words are copied verbatim.
+* ``0x01`` — zero run: emit *length* zero words.
+* ``0x02`` — repeat run: the next word is emitted *length* times.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .crc import crc32c_words
+
+__all__ = [
+    "MAGIC",
+    "compress_words",
+    "decompress_words",
+    "compression_ratio",
+    "CompressedFormatError",
+]
+
+MAGIC = 0x52424331  # "RBC1"
+
+_OP_LITERAL = 0x00
+_OP_ZERO = 0x01
+_OP_REPEAT = 0x02
+_MAX_RUN = 0xFFFFFF
+
+#: Minimum length of a repeated-word run worth a token (below this the
+#: control-word overhead exceeds the saving).
+_MIN_REPEAT = 3
+
+
+class CompressedFormatError(ValueError):
+    """The compressed stream is malformed or fails its integrity check."""
+
+
+def _token(opcode: int, length: int) -> int:
+    return (opcode << 24) | length
+
+
+def compress_words(words: List[int]) -> List[int]:
+    """Compress a word list; always decompressible to the exact input."""
+    out: List[int] = [MAGIC, len(words), crc32c_words(words)]
+    literals: List[int] = []
+
+    def flush_literals() -> None:
+        start = 0
+        while start < len(literals):
+            chunk = literals[start : start + _MAX_RUN]
+            out.append(_token(_OP_LITERAL, len(chunk)))
+            out.extend(chunk)
+            start += len(chunk)
+        literals.clear()
+
+    index = 0
+    total = len(words)
+    while index < total:
+        word = words[index]
+        run = 1
+        while index + run < total and words[index + run] == word and run < _MAX_RUN:
+            run += 1
+        if word == 0 and run >= 2:
+            flush_literals()
+            out.append(_token(_OP_ZERO, run))
+            index += run
+        elif run >= _MIN_REPEAT:
+            flush_literals()
+            out.append(_token(_OP_REPEAT, run))
+            out.append(word)
+            index += run
+        else:
+            literals.extend(words[index : index + run])
+            index += run
+    flush_literals()
+    return out
+
+
+def decompress_words(compressed: List[int]) -> List[int]:
+    """Inverse of :func:`compress_words`; verifies count and CRC."""
+    if len(compressed) < 3:
+        raise CompressedFormatError("stream too short for header")
+    if compressed[0] != MAGIC:
+        raise CompressedFormatError(f"bad magic {compressed[0]:#010x}")
+    expected_count = compressed[1]
+    expected_crc = compressed[2]
+
+    out: List[int] = []
+    index = 3
+    while index < len(compressed):
+        control = compressed[index]
+        index += 1
+        opcode = (control >> 24) & 0xFF
+        length = control & _MAX_RUN
+        if opcode == _OP_ZERO:
+            out.extend([0] * length)
+        elif opcode == _OP_REPEAT:
+            if index >= len(compressed):
+                raise CompressedFormatError("repeat token missing its value word")
+            out.extend([compressed[index]] * length)
+            index += 1
+        elif opcode == _OP_LITERAL:
+            if index + length > len(compressed):
+                raise CompressedFormatError("literal run overruns stream")
+            out.extend(compressed[index : index + length])
+            index += length
+        else:
+            raise CompressedFormatError(f"unknown token opcode {opcode:#x}")
+
+    if len(out) != expected_count:
+        raise CompressedFormatError(
+            f"decompressed {len(out)} words, header says {expected_count}"
+        )
+    if crc32c_words(out) != expected_crc:
+        raise CompressedFormatError("decompressed CRC mismatch")
+    return out
+
+
+def compression_ratio(words: List[int]) -> float:
+    """original size / compressed size (>1 means the stream shrank)."""
+    if not words:
+        return 1.0
+    return len(words) / len(compress_words(words))

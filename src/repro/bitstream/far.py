@@ -1,0 +1,81 @@
+"""Frame Address Register (FAR) encoding.
+
+7-series configuration memory is addressed by frames.  A frame address has
+five fields (block type, top/bottom half, clock row, major column, minor).
+We use the 7-series field layout:
+
+    [25:23] block type   (0 = CLB/interconnect, 1 = BRAM content)
+    [22]    top/bottom   (0 = top half, 1 = bottom half)
+    [21:17] row
+    [16:7]  column
+    [6:0]   minor
+
+Frame addresses order lexicographically by (block_type, top, row, column,
+minor), which is the order in which FDRI auto-increments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FrameAddress", "BLOCK_TYPE_MAIN", "BLOCK_TYPE_BRAM_CONTENT"]
+
+BLOCK_TYPE_MAIN = 0
+BLOCK_TYPE_BRAM_CONTENT = 1
+
+_BT_SHIFT, _BT_MASK = 23, 0x7
+_TOP_SHIFT, _TOP_MASK = 22, 0x1
+_ROW_SHIFT, _ROW_MASK = 17, 0x1F
+_COL_SHIFT, _COL_MASK = 7, 0x3FF
+_MINOR_SHIFT, _MINOR_MASK = 0, 0x7F
+
+
+@dataclass(frozen=True, order=True)
+class FrameAddress:
+    """One configuration-frame address (immutable, orderable)."""
+
+    block_type: int = BLOCK_TYPE_MAIN
+    top: int = 0
+    row: int = 0
+    column: int = 0
+    minor: int = 0
+
+    def __post_init__(self) -> None:
+        for name, value, mask in (
+            ("block_type", self.block_type, _BT_MASK),
+            ("top", self.top, _TOP_MASK),
+            ("row", self.row, _ROW_MASK),
+            ("column", self.column, _COL_MASK),
+            ("minor", self.minor, _MINOR_MASK),
+        ):
+            if not 0 <= value <= mask:
+                raise ValueError(f"FAR field {name}={value} exceeds mask {mask:#x}")
+
+    def encode(self) -> int:
+        """Pack into the 32-bit FAR word."""
+        return (
+            (self.block_type << _BT_SHIFT)
+            | (self.top << _TOP_SHIFT)
+            | (self.row << _ROW_SHIFT)
+            | (self.column << _COL_SHIFT)
+            | (self.minor << _MINOR_SHIFT)
+        )
+
+    @classmethod
+    def decode(cls, word: int) -> "FrameAddress":
+        """Unpack a 32-bit FAR word."""
+        if not 0 <= word <= 0xFFFFFFFF:
+            raise ValueError(f"FAR word {word:#x} out of range")
+        return cls(
+            block_type=(word >> _BT_SHIFT) & _BT_MASK,
+            top=(word >> _TOP_SHIFT) & _TOP_MASK,
+            row=(word >> _ROW_SHIFT) & _ROW_MASK,
+            column=(word >> _COL_SHIFT) & _COL_MASK,
+            minor=(word >> _MINOR_SHIFT) & _MINOR_MASK,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"FAR(bt={self.block_type} t={self.top} r={self.row} "
+            f"c={self.column} m={self.minor})"
+        )

@@ -1,0 +1,180 @@
+"""Offline structural bitstream parser.
+
+The authoritative consumer of configuration streams is the simulated device
+itself (:mod:`repro.icap.primitive`), which executes the stream against the
+configuration memory.  This parser is the *offline* counterpart used by
+tests and tooling: it walks a word stream, extracts the register-write
+sequence, recomputes the configuration CRC, and reconstructs the frames a
+partial bitstream would write — without needing a simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .crc import ConfigCrc
+from .device import FRAME_WORDS, DeviceLayout
+from .far import FrameAddress
+from .packets import NOOP_WORD, OP_WRITE, SYNC_WORD, decode_header
+from .registers import Command, ConfigRegister
+
+__all__ = ["WriteOp", "ParsedBitstream", "BitstreamParser", "BitstreamFormatError"]
+
+
+class BitstreamFormatError(ValueError):
+    """The word stream violates the configuration-packet grammar."""
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """One register write extracted from the stream."""
+
+    register: int
+    words: Tuple[int, ...]
+
+    @property
+    def register_name(self) -> str:
+        try:
+            return ConfigRegister(self.register).name
+        except ValueError:  # pragma: no cover - unknown register
+            return f"REG{self.register:#x}"
+
+
+@dataclass
+class ParsedBitstream:
+    """Result of structurally parsing a configuration stream."""
+
+    ops: List[WriteOp] = field(default_factory=list)
+    sync_offset: int = -1
+    idcode: Optional[int] = None
+    far: Optional[FrameAddress] = None
+    frame_words: List[int] = field(default_factory=list)
+    crc_written: Optional[int] = None
+    crc_computed: Optional[int] = None
+    desynced: bool = False
+    noop_words: int = 0
+
+    @property
+    def crc_ok(self) -> bool:
+        return self.crc_written is not None and self.crc_written == self.crc_computed
+
+    @property
+    def frame_count(self) -> int:
+        """Frames carried by FDRI (including the trailing pad frame)."""
+        return len(self.frame_words) // FRAME_WORDS
+
+    def frames(self) -> List[List[int]]:
+        """FDRI payload split into frames, pad frame included."""
+        if len(self.frame_words) % FRAME_WORDS:
+            raise BitstreamFormatError(
+                f"FDRI payload ({len(self.frame_words)} words) is not a "
+                f"whole number of {FRAME_WORDS}-word frames"
+            )
+        return [
+            self.frame_words[i : i + FRAME_WORDS]
+            for i in range(0, len(self.frame_words), FRAME_WORDS)
+        ]
+
+    def payload_frames(self) -> List[List[int]]:
+        """Frames excluding the trailing flush pad frame."""
+        frames = self.frames()
+        if not frames:
+            return frames
+        return frames[:-1]
+
+
+class BitstreamParser:
+    """Parses word streams into :class:`ParsedBitstream` summaries."""
+
+    def __init__(self, layout: Optional[DeviceLayout] = None):
+        self.layout = layout
+
+    def parse_words(self, words: List[int]) -> ParsedBitstream:
+        result = ParsedBitstream()
+        crc = ConfigCrc()
+
+        # ---- find sync ---------------------------------------------------
+        try:
+            index = words.index(SYNC_WORD)
+        except ValueError:
+            raise BitstreamFormatError("no sync word in stream") from None
+        result.sync_offset = index
+        index += 1
+
+        # ---- packet loop ---------------------------------------------------
+        last_register: Optional[int] = None
+        while index < len(words):
+            header_word = words[index]
+            index += 1
+            if header_word == NOOP_WORD:
+                result.noop_words += 1
+                continue
+            header = decode_header(header_word)
+            if header.packet_type == 1:
+                register = header.register_addr
+                last_register = register
+            else:
+                if last_register is None:
+                    raise BitstreamFormatError(
+                        "type-2 packet with no preceding type-1 target"
+                    )
+                register = last_register
+            if header.word_count == 0:
+                continue
+            if index + header.word_count > len(words):
+                raise BitstreamFormatError(
+                    f"packet at word {index - 1} overruns stream "
+                    f"(needs {header.word_count} words)"
+                )
+            payload = words[index : index + header.word_count]
+            index += header.word_count
+            if not header.is_write:
+                continue
+
+            result.ops.append(WriteOp(register=register, words=tuple(payload)))
+            self._apply(result, crc, register, payload)
+            if result.desynced:
+                break
+
+        return result
+
+    def parse_bytes(self, data: bytes) -> ParsedBitstream:
+        if len(data) % 4:
+            raise BitstreamFormatError(f"byte length {len(data)} not word aligned")
+        words = [
+            int.from_bytes(data[i : i + 4], "big") for i in range(0, len(data), 4)
+        ]
+        return self.parse_words(words)
+
+    # -- internals ----------------------------------------------------------
+    def _apply(
+        self,
+        result: ParsedBitstream,
+        crc: ConfigCrc,
+        register: int,
+        payload: List[int],
+    ) -> None:
+        if register == int(ConfigRegister.CRC):
+            result.crc_written = payload[-1]
+            result.crc_computed = crc.value
+            crc.check(payload[-1])
+            return
+        for word in payload:
+            crc.update(register, word)
+        if register == int(ConfigRegister.IDCODE):
+            result.idcode = payload[-1]
+            if self.layout is not None and payload[-1] != self.layout.idcode:
+                raise BitstreamFormatError(
+                    f"IDCODE mismatch: stream {payload[-1]:#010x} vs device "
+                    f"{self.layout.idcode:#010x}"
+                )
+        elif register == int(ConfigRegister.FAR):
+            result.far = FrameAddress.decode(payload[-1])
+        elif register == int(ConfigRegister.FDRI):
+            result.frame_words.extend(payload)
+        elif register == int(ConfigRegister.CMD):
+            if payload[-1] == int(Command.RCRC):
+                crc.reset()
+            elif payload[-1] == int(Command.DESYNC):
+                result.desynced = True

@@ -1,0 +1,51 @@
+"""Configuration register and command codes (7-series style)."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = ["ConfigRegister", "Command"]
+
+
+class ConfigRegister(IntEnum):
+    """Configuration-logic register addresses."""
+
+    CRC = 0x00       #: CRC check/reset register
+    FAR = 0x01       #: Frame address register
+    FDRI = 0x02      #: Frame data register, input (write configuration)
+    FDRO = 0x03      #: Frame data register, output (read-back)
+    CMD = 0x04       #: Command register
+    CTL0 = 0x05      #: Control register 0
+    MASK = 0x06      #: Mask for CTL0/CTL1 writes
+    STAT = 0x07      #: Status register (read only)
+    LOUT = 0x08      #: Legacy output (daisy chain)
+    COR0 = 0x09      #: Configuration option register 0
+    MFWR = 0x0A      #: Multiple frame write
+    CBC = 0x0B       #: Initial CBC value (encryption)
+    IDCODE = 0x0C    #: Device ID check
+    AXSS = 0x0D      #: User access register
+    COR1 = 0x0E      #: Configuration option register 1
+    WBSTAR = 0x10    #: Warm boot start address
+    TIMER = 0x11     #: Watchdog timer
+    BOOTSTS = 0x16   #: Boot history status
+    CTL1 = 0x18      #: Control register 1
+
+
+class Command(IntEnum):
+    """Values written to the CMD register."""
+
+    NULL = 0x0
+    WCFG = 0x1          #: Write configuration (enables FDRI frame writes)
+    MFW = 0x2           #: Multiple frame write
+    DGHIGH_LFRM = 0x3   #: Deassert GHIGH / last frame
+    RCFG = 0x4          #: Read configuration (enables FDRO)
+    START = 0x5         #: Begin start-up sequence
+    RCAP = 0x6          #: Reset capture
+    RCRC = 0x7          #: Reset CRC accumulator
+    AGHIGH = 0x8        #: Assert GHIGH (disables interconnect during config)
+    SWITCH = 0x9        #: Switch clock select
+    GRESTORE = 0xA      #: Pulse GRESTORE
+    SHUTDOWN = 0xB      #: Begin shutdown sequence
+    GCAPTURE = 0xC      #: Pulse GCAPTURE
+    DESYNC = 0xD        #: Desynchronise (end of configuration stream)
+    IPROG = 0xF         #: Internal PROG trigger

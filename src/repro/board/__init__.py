@@ -1,0 +1,13 @@
+"""ZedBoard peripherals: switches, buttons, OLED, SD card."""
+
+from .inputs import DEFAULT_FREQUENCY_TABLE, PushButtons, SwitchBank
+from .oled import OledDisplay
+from .sdcard import SdCard
+
+__all__ = [
+    "DEFAULT_FREQUENCY_TABLE",
+    "OledDisplay",
+    "PushButtons",
+    "SdCard",
+    "SwitchBank",
+]

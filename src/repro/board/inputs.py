@@ -1,0 +1,81 @@
+"""ZedBoard user inputs: the 8 slide switches and push buttons.
+
+The paper selects the over-clocking frequency with the 8 switches and
+starts ICAP operations / selects one of the two bitstreams with two push
+buttons.  The frequency encoding is a lookup table indexed by the switch
+byte, mirroring the test firmware's `switch → MHz` mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+__all__ = ["SwitchBank", "PushButtons", "DEFAULT_FREQUENCY_TABLE"]
+
+#: Switch-code → over-clock MHz table used by the test firmware.  Codes
+#: 0–8 select the paper's nine test frequencies; other codes fall back to
+#: the nominal 100 MHz.
+DEFAULT_FREQUENCY_TABLE: Dict[int, float] = {
+    0: 100.0,
+    1: 140.0,
+    2: 180.0,
+    3: 200.0,
+    4: 240.0,
+    5: 280.0,
+    6: 310.0,
+    7: 320.0,
+    8: 360.0,
+}
+
+
+class SwitchBank:
+    """Eight slide switches read as a byte."""
+
+    def __init__(self, count: int = 8):
+        self.count = count
+        self._state = [False] * count
+
+    def set_switch(self, index: int, on: bool) -> None:
+        if not 0 <= index < self.count:
+            raise IndexError(f"switch {index} out of range")
+        self._state[index] = bool(on)
+
+    def set_code(self, code: int) -> None:
+        """Set all switches at once from an integer code."""
+        if not 0 <= code < (1 << self.count):
+            raise ValueError(f"code {code} needs more than {self.count} switches")
+        for i in range(self.count):
+            self._state[i] = bool(code & (1 << i))
+
+    def read_code(self) -> int:
+        return sum(1 << i for i, on in enumerate(self._state) if on)
+
+    def selected_frequency_mhz(
+        self, table: Dict[int, float] = DEFAULT_FREQUENCY_TABLE
+    ) -> float:
+        return table.get(self.read_code(), 100.0)
+
+
+class PushButtons:
+    """Momentary push buttons with press callbacks."""
+
+    def __init__(self, names: List[str] = None):
+        self.names = list(names or ["BTNC", "BTNL", "BTNR", "BTNU", "BTND"])
+        self._handlers: Dict[str, List[Callable[[], None]]] = {
+            name: [] for name in self.names
+        }
+        self.press_counts: Dict[str, int] = {name: 0 for name in self.names}
+
+    def on_press(self, name: str, handler: Callable[[], None]) -> None:
+        self._check(name)
+        self._handlers[name].append(handler)
+
+    def press(self, name: str) -> None:
+        self._check(name)
+        self.press_counts[name] += 1
+        for handler in list(self._handlers[name]):
+            handler()
+
+    def _check(self, name: str) -> None:
+        if name not in self._handlers:
+            raise KeyError(f"no button {name!r}; have {self.names}")

@@ -1,0 +1,48 @@
+"""ZedBoard OLED display (128x32, 4 text lines).
+
+The paper's Fig. 3 shows the OLED reporting the over-clock frequency,
+chip temperature, CRC test result and partial-bitstream transfer time.
+The model is a 4-line text panel whose content tests can assert on —
+it is the experiment's human-readable output channel.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["OledDisplay"]
+
+
+class OledDisplay:
+    """A 4-line x 21-character text OLED."""
+
+    LINES = 4
+    COLUMNS = 21
+
+    def __init__(self) -> None:
+        self._lines: List[str] = [""] * self.LINES
+        self.updates = 0
+
+    def write_line(self, index: int, text: str) -> None:
+        if not 0 <= index < self.LINES:
+            raise IndexError(f"OLED has lines 0..{self.LINES - 1}")
+        self._lines[index] = text[: self.COLUMNS]
+        self.updates += 1
+
+    def clear(self) -> None:
+        self._lines = [""] * self.LINES
+        self.updates += 1
+
+    def line(self, index: int) -> str:
+        if not 0 <= index < self.LINES:
+            raise IndexError(f"OLED has lines 0..{self.LINES - 1}")
+        return self._lines[index]
+
+    def snapshot(self) -> List[str]:
+        return list(self._lines)
+
+    def render(self) -> str:
+        """The panel as a framed multi-line string (debugging/examples)."""
+        bar = "+" + "-" * self.COLUMNS + "+"
+        body = "\n".join(f"|{line:<{self.COLUMNS}}|" for line in self._lines)
+        return f"{bar}\n{body}\n{bar}"

@@ -1,0 +1,65 @@
+"""SD card model.
+
+The ZedBoard boots from an SD card that also holds the partial
+bitstreams.  The model is a named-file store with a realistic sequential
+read rate (SD class 10, ~20 MB/s), charged when the firmware stages a
+bitstream into DRAM at boot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..sim import Event, Simulator
+
+__all__ = ["SdCard"]
+
+
+class SdCard:
+    """File store with timed reads."""
+
+    #: Sequential read throughput in bytes/ns (20 MB/s).
+    READ_RATE = 20e6 / 1e9
+    #: Per-read command/seek latency (ns).
+    ACCESS_LATENCY_NS = 1.2e6
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._files: Dict[str, bytes] = {}
+        self.bytes_read = 0
+
+    # -- provisioning (done before "boot", untimed) ---------------------------
+    def store_file(self, name: str, data: bytes) -> None:
+        if not name:
+            raise ValueError("file name cannot be empty")
+        self._files[name] = bytes(data)
+
+    def list_files(self) -> List[str]:
+        return sorted(self._files)
+
+    def file_size(self, name: str) -> int:
+        self._check(name)
+        return len(self._files[name])
+
+    # -- timed access ----------------------------------------------------------
+    def read_file(self, name: str) -> Event:
+        """Timed read; the event's value is the file contents."""
+        self._check(name)
+        data = self._files[name]
+        done = self.sim.event(name=f"sd.read:{name}")
+
+        def transfer():
+            yield self.sim.timeout(
+                self.ACCESS_LATENCY_NS + len(data) / self.READ_RATE
+            )
+            self.bytes_read += len(data)
+            done.succeed(data)
+
+        self.sim.process(transfer(), name=f"sd.read:{name}")
+        return done
+
+    def _check(self, name: str) -> None:
+        if name not in self._files:
+            raise FileNotFoundError(
+                f"SD card has no file {name!r}; have {self.list_files()}"
+            )

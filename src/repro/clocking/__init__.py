@@ -1,0 +1,6 @@
+"""Clock synthesis: the MMCM Clock Wizard and the per-RP clock manager."""
+
+from .manager import ClockManager
+from .wizard import ClockWizard, MmcmConstraints, MmcmSetting
+
+__all__ = ["ClockManager", "ClockWizard", "MmcmConstraints", "MmcmSetting"]

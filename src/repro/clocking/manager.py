@@ -1,0 +1,75 @@
+"""Per-RP clock manager (paper Fig. 1, "Clock Manager", CLK 1–5).
+
+Each reconfigurable partition can run at its own frequency "thanks to the
+Clock Manager, allowing maximum flexibility and IP-block reuse".  The
+manager owns one :class:`ClockWizard` per output and tracks which RP uses
+which clock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..sim import ClockDomain, Simulator
+
+from .wizard import ClockWizard, MmcmConstraints
+
+__all__ = ["ClockManager"]
+
+
+class ClockManager:
+    """A bank of programmable PL clocks (CLK1..CLKn)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        outputs: int = 5,
+        f_in_mhz: float = 100.0,
+        default_mhz: float = 100.0,
+        name: str = "clkmgr",
+    ):
+        if outputs < 1:
+            raise ValueError("clock manager needs at least one output")
+        self.sim = sim
+        self.name = name
+        self.domains: List[ClockDomain] = []
+        self.wizards: List[ClockWizard] = []
+        self._assignments: Dict[str, int] = {}
+        for index in range(outputs):
+            domain = ClockDomain(sim, default_mhz, name=f"{name}.clk{index + 1}")
+            self.domains.append(domain)
+            self.wizards.append(
+                ClockWizard(
+                    sim,
+                    domain,
+                    f_in_mhz=f_in_mhz,
+                    constraints=MmcmConstraints(),
+                    name=f"{name}.wiz{index + 1}",
+                )
+            )
+
+    @property
+    def outputs(self) -> int:
+        return len(self.domains)
+
+    def assign(self, consumer: str, clock_index: int) -> ClockDomain:
+        """Bind a named consumer (e.g. ``"RP1"``) to clock ``clock_index``."""
+        self._check(clock_index)
+        self._assignments[consumer] = clock_index
+        return self.domains[clock_index]
+
+    def domain_of(self, consumer: str) -> ClockDomain:
+        if consumer not in self._assignments:
+            raise KeyError(f"{consumer!r} has no assigned clock")
+        return self.domains[self._assignments[consumer]]
+
+    def program(self, clock_index: int, target_mhz: float):
+        """Reprogram one output; returns the wizard's relock event."""
+        self._check(clock_index)
+        return self.wizards[clock_index].program(target_mhz)
+
+    def _check(self, clock_index: int) -> None:
+        if not 0 <= clock_index < len(self.domains):
+            raise IndexError(
+                f"clock index {clock_index} out of range 0..{len(self.domains) - 1}"
+            )

@@ -1,0 +1,27 @@
+"""The paper's contribution: the over-clocked PDR system (Fig. 2) and the
+HLL acceleration framework (Fig. 1)."""
+
+from .governor import ActiveFeedbackGovernor, GovernedReconfig
+from .hll import AspRequest, HllFramework, JobResult
+from .library import BitstreamLibrary, LibraryEntry
+from .pdr_system import TABLE1_BITSTREAM_BYTES, PdrSystem, PdrSystemConfig
+from .results import BatchReconfigResult, ReconfigResult
+from .rp_channel import RpDataChannel
+from .rp_regs import RpControlInterface
+
+__all__ = [
+    "ActiveFeedbackGovernor",
+    "AspRequest",
+    "BatchReconfigResult",
+    "BitstreamLibrary",
+    "GovernedReconfig",
+    "HllFramework",
+    "JobResult",
+    "LibraryEntry",
+    "PdrSystem",
+    "PdrSystemConfig",
+    "ReconfigResult",
+    "RpControlInterface",
+    "RpDataChannel",
+    "TABLE1_BITSTREAM_BYTES",
+]

@@ -1,0 +1,96 @@
+"""Active-feedback over-clocking governor (extension).
+
+HP-2011 (paper §V) over-clocks "with active feedback to ensure that the
+device voltages and temperatures are within nominal values" — robust, but
+capped at nominal.  The paper's own system instead over-clocks open-loop
+and relies on the CRC to catch failures.
+
+This module combines the two: a closed loop around *this* system's
+timing model and die-temperature sensor that always runs as fast as the
+silicon currently allows, minus a safety margin.  At 40 °C it authorises
+~295 MHz; as the heat gun pushes the die toward 100 °C it backs the clock
+off, so the 310 MHz/100 °C failure of §IV-A can never happen under
+governance — at the cost of a few MHz the CRC-only approach would have
+exploited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..fabric import Asp
+from ..thermal import TemperatureSensor
+from ..timing import TimingModel
+
+from .pdr_system import PdrSystem
+from .results import ReconfigResult
+
+__all__ = ["GovernedReconfig", "ActiveFeedbackGovernor"]
+
+
+@dataclass
+class GovernedReconfig:
+    """A reconfiguration run under governance."""
+
+    result: ReconfigResult
+    requested_mhz: float
+    authorised_mhz: float
+
+    @property
+    def clamped(self) -> bool:
+        return self.authorised_mhz < self.requested_mhz
+
+
+class ActiveFeedbackGovernor:
+    """Clamps over-clock requests to the temperature-derated safe limit."""
+
+    def __init__(
+        self,
+        timing: TimingModel,
+        sensor: TemperatureSensor,
+        margin_mhz: float = 10.0,
+    ):
+        if margin_mhz < 0:
+            raise ValueError("safety margin cannot be negative")
+        self.timing = timing
+        self.sensor = sensor
+        self.margin_mhz = margin_mhz
+        self.clamps_applied = 0
+
+    def max_safe_mhz(self) -> float:
+        """Weakest-path fmax at the *measured* die temperature, minus margin."""
+        temp_c = self.sensor.read_celsius()
+        return self.timing.max_safe_frequency(temp_c) - self.margin_mhz
+
+    def authorise(self, requested_mhz: float) -> float:
+        """The frequency actually allowed for ``requested_mhz``."""
+        if requested_mhz <= 0:
+            raise ValueError("requested frequency must be positive")
+        limit = self.max_safe_mhz()
+        if requested_mhz <= limit:
+            return requested_mhz
+        self.clamps_applied += 1
+        return limit
+
+    def reconfigure(
+        self,
+        system: PdrSystem,
+        region: str,
+        asp: Optional[Asp],
+        requested_mhz: float,
+        bitstream=None,
+    ) -> GovernedReconfig:
+        """A governed :meth:`PdrSystem.reconfigure`.
+
+        Never lets the transfer run past the derated fmax, so the result
+        always carries a latency and a valid CRC (unless the bitstream
+        itself is bad).
+        """
+        authorised = self.authorise(requested_mhz)
+        result = system.reconfigure(region, asp, authorised, bitstream=bitstream)
+        return GovernedReconfig(
+            result=result,
+            requested_mhz=requested_mhz,
+            authorised_mhz=authorised,
+        )

@@ -1,0 +1,94 @@
+"""Bitstream library: named ASP images with prefetch (ZyCAP-style API).
+
+The ZyCAP work the paper builds on ([8]) pairs its ICAP controller with a
+software API that manages partial bitstreams by name and keeps them
+staged in memory.  This library provides that layer for the reproduction:
+register ASPs once, prefetch their images (optionally through the timed
+SD-card path, as on a real boot), then load by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..bitstream import Bitstream
+from ..fabric import Asp
+
+from .pdr_system import PdrSystem
+from .results import ReconfigResult
+
+__all__ = ["LibraryEntry", "BitstreamLibrary"]
+
+
+@dataclass
+class LibraryEntry:
+    """One registered ASP image."""
+
+    name: str
+    region: str
+    asp: Asp
+    bitstream: Bitstream
+    dram_addr: Optional[int] = None   #: set once prefetched
+
+    @property
+    def prefetched(self) -> bool:
+        return self.dram_addr is not None
+
+
+class BitstreamLibrary:
+    """Named image store bound to one :class:`PdrSystem`."""
+
+    def __init__(self, system: PdrSystem):
+        self.system = system
+        self._entries: Dict[str, LibraryEntry] = {}
+        self.loads = 0
+
+    # -- registration ----------------------------------------------------------
+    def register(self, name: str, region: str, asp: Asp) -> LibraryEntry:
+        """Build and file the image for ``asp`` targeting ``region``."""
+        if not name:
+            raise ValueError("image name cannot be empty")
+        if name in self._entries:
+            raise ValueError(f"image {name!r} already registered")
+        bitstream = self.system.make_bitstream(region, asp, description=name)
+        entry = LibraryEntry(name=name, region=region, asp=asp, bitstream=bitstream)
+        self._entries[name] = entry
+        return entry
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def entry(self, name: str) -> LibraryEntry:
+        if name not in self._entries:
+            raise KeyError(f"no image {name!r}; have {self.names()}")
+        return self._entries[name]
+
+    # -- staging ------------------------------------------------------------------
+    def prefetch(self, name: str) -> int:
+        """Stage an image into DRAM (bench provisioning, untimed)."""
+        entry = self.entry(name)
+        if entry.dram_addr is None:
+            entry.dram_addr = self.system.stage_bitstream(entry.bitstream)
+        return entry.dram_addr
+
+    def prefetch_all(self) -> None:
+        for name in self.names():
+            self.prefetch(name)
+
+    def store_on_sd(self, name: str) -> str:
+        """Write the image to the SD card (for timed boot flows)."""
+        entry = self.entry(name)
+        filename = f"{name}.bin"
+        self.system.sdcard.store_file(filename, entry.bitstream.to_bytes())
+        return filename
+
+    # -- loading ---------------------------------------------------------------
+    def load(self, name: str, freq_mhz: float) -> ReconfigResult:
+        """Reconfigure the image's region with it at ``freq_mhz``."""
+        entry = self.entry(name)
+        self.prefetch(name)
+        self.loads += 1
+        return self.system.reconfigure(
+            entry.region, entry.asp, freq_mhz, bitstream=entry.bitstream
+        )

@@ -1,0 +1,444 @@
+"""The over-clocked PDR system (paper Fig. 2) — the core contribution.
+
+Assembles the full hardware/software stack:
+
+* PS side: DRAM + controller, AXI interconnect, global timer, GIC,
+  PCAP, the test firmware's control sequence;
+* PL static part: Clock Wizard (over-clock domain), AXI DMA, AXI4-Stream
+  link, ICAP controller, CRC read-back scrubber;
+* PL dynamic part: four reconfigurable partitions on the Z-7020 layout;
+* bench: thermal model + heat gun + XADC sensor, power model + board
+  current sense, switches/buttons/OLED/SD card.
+
+The public entry point is :meth:`PdrSystem.reconfigure` — build a partial
+bitstream for an ASP, stage it in DRAM and run the paper's measurement
+sequence, returning a :class:`~repro.core.results.ReconfigResult` with
+the same observables as the paper's Table I rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..axi import AxiHpPort, AxiInterconnect, AxiStream
+from ..bitstream import Bitstream, BitstreamBuilder, crc32c_words, make_z7020_layout
+from ..board import OledDisplay, PushButtons, SdCard, SwitchBank
+from ..clocking import ClockWizard
+from ..crccheck import CrcScrubber
+from ..dma import (
+    AxiDmaEngine,
+    DMACR_IOC_IRQ_EN,
+    DMACR_RS,
+    DMASR_IOC_IRQ,
+    MM2S_DMACR,
+    MM2S_DMASR,
+    MM2S_LENGTH,
+    MM2S_SA,
+)
+from ..dram import DramController, DramDevice
+from ..fabric import Asp, ConfigMemory, RpRegion, encode_asp_frames
+from ..icap import IcapController
+from ..power import CurrentSense, PowerModel, PowerModelParams
+from ..ps import GlobalTimer, InterruptController, Pcap
+from ..sim import ClockDomain, Simulator, Tracer
+from ..thermal import HeatGun, TemperatureSensor, ThermalModel
+from ..timing import (
+    FailureMode,
+    PDR_CONTROL_PATH,
+    PDR_DATA_PATH,
+    TimingModel,
+    default_timing_model,
+    make_word_corruptor,
+)
+
+from .results import BatchReconfigResult, ReconfigResult
+
+__all__ = ["PdrSystemConfig", "PdrSystem"]
+
+#: Reference partial-bitstream size: the byte count consistent with every
+#: row of the paper's Table I (size = throughput x latency); see DESIGN.md.
+TABLE1_BITSTREAM_BYTES = 528_760
+
+
+@dataclass
+class PdrSystemConfig:
+    """Tunable parameters of the assembled system."""
+
+    #: Die temperature pin for bench-style experiments (°C).
+    die_temp_c: float = 40.0
+    #: Stream FIFO depth between DMA and ICAP, in 32-bit words.
+    stream_fifo_words: int = 1024
+    #: Driver software overhead before the DMA starts (cache maintenance,
+    #: descriptor setup) in microseconds.  Calibrated against Table I.
+    firmware_setup_us: float = 1.9
+    #: Firmware's give-up timeout waiting for the completion interrupt.
+    irq_timeout_us: float = 20_000.0
+    #: Where bitstreams are staged in DRAM.
+    bitstream_base_addr: int = 0x1000_0000
+    #: Pad generated bitstreams to the Table I reference size.
+    pad_bitstreams_to: Optional[int] = TABLE1_BITSTREAM_BYTES
+    #: Nominal PL clock out of reset (MHz).
+    nominal_freq_mhz: float = 100.0
+    #: DMA memory-side read burst size (bytes) — ablation A1 varies this.
+    dma_burst_bytes: int = 1024
+    #: DMA command-issue overhead per burst, in over-clock cycles.
+    dma_cmd_overhead_cycles: int = 10
+
+
+class PdrSystem:
+    """The assembled Fig. 2 architecture."""
+
+    def __init__(
+        self,
+        config: Optional[PdrSystemConfig] = None,
+        timing_model: Optional[TimingModel] = None,
+        power_params: Optional[PowerModelParams] = None,
+    ):
+        self.config = config or PdrSystemConfig()
+        self.sim = Simulator()
+        sim = self.sim
+
+        # ---- fabric ---------------------------------------------------------
+        self.layout = make_z7020_layout()
+        self.memory = ConfigMemory(self.layout)
+        self.regions: Dict[str, RpRegion] = {
+            name: RpRegion(self.memory, name) for name in self.layout.regions
+        }
+        self.builder = BitstreamBuilder(self.layout)
+
+        # ---- PS memory system ---------------------------------------------
+        self.dram = DramDevice()
+        self.dram_controller = DramController(sim, self.dram)
+        self.interconnect = AxiInterconnect(sim, self.dram_controller)
+        self.hp0 = AxiHpPort(sim, self.interconnect, name="hp0")
+
+        # ---- over-clock domain + transfer path ------------------------------
+        self.overclock = ClockDomain(
+            sim, self.config.nominal_freq_mhz, name="overclock"
+        )
+        self.clock_wizard = ClockWizard(sim, self.overclock, name="clk_wiz")
+        self.stream = AxiStream(
+            sim, fifo_words=self.config.stream_fifo_words, name="dma2icap"
+        )
+        self.dma = AxiDmaEngine(
+            sim,
+            self.overclock,
+            self.hp0,
+            self.stream,
+            max_burst_bytes=self.config.dma_burst_bytes,
+            cmd_overhead_cycles=self.config.dma_cmd_overhead_cycles,
+        )
+        self.icap = IcapController(sim, self.overclock, self.memory, self.stream)
+        self.scrubber = CrcScrubber(
+            sim, self.overclock, self.memory, busy_gate=self.icap.busy
+        )
+
+        # ---- PS software-visible blocks --------------------------------------
+        self.timer = GlobalTimer(sim)
+        self.gic = InterruptController(sim)
+        self.gic.connect("dma_ioc", self.dma.ioc_irq)
+        self.gic.connect("crc_error", self.scrubber.error_irq)
+        self.gic.connect("icap_error", self.icap.error_irq)
+        self.pcap = Pcap(sim, self.memory)
+
+        # ---- bench: thermal + power ------------------------------------------
+        self.power_model = PowerModel(power_params or PowerModelParams())
+        self.thermal = ThermalModel(
+            sim,
+            power_source=lambda: self.power_model.pdr_power_w(
+                self.overclock.freq_mhz, 40.0
+            ),
+        )
+        self.heat_gun = HeatGun(self.thermal)
+        self.temp_sensor = TemperatureSensor(self.thermal)
+        self.current_sense = CurrentSense(
+            self.power_model,
+            freq_source=lambda: self.overclock.freq_mhz,
+            temp_source=lambda: self.thermal.temperature_c,
+        )
+        self.thermal.pin_temperature(self.config.die_temp_c)
+
+        # ---- board I/O -------------------------------------------------------
+        self.oled = OledDisplay()
+        self.switches = SwitchBank()
+        self.buttons = PushButtons()
+        self.sdcard = SdCard(sim)
+
+        # ---- timing / failure model -----------------------------------------
+        self.timing = timing_model or default_timing_model()
+
+        #: Firmware/system event trace (bounded ring buffer).
+        self.trace = Tracer()
+        self._staging_cursor = self.config.bitstream_base_addr
+        self._bitstream_cache: Dict[tuple, Bitstream] = {}
+        self._staged_addrs: Dict[int, int] = {}
+        self.results: List[ReconfigResult] = []
+
+    # ------------------------------------------------------------------ bench --
+    def set_die_temperature(self, temp_c: float) -> None:
+        """Pin the die temperature (the paper's stabilised heat-gun steps).
+
+        Setpoints above the self-heating floor go through the heat-gun
+        actuator (as on the bench); colder setpoints — unreachable with a
+        heat gun — fall back to a direct pin for what-if experiments.
+        """
+        try:
+            self.heat_gun.hold_die_at(temp_c)
+        except ValueError:
+            self.thermal.pin_temperature(temp_c)
+
+    @property
+    def die_temp_c(self) -> float:
+        return self.thermal.temperature_c
+
+    # --------------------------------------------------------------- bitstreams --
+    def make_bitstream(self, region: str, asp: Asp, description: str = "") -> Bitstream:
+        """Build a partial bitstream configuring ``region`` as ``asp``.
+
+        Builds are deterministic and memoised per (region, ASP); treat the
+        returned object as read-only (use :meth:`Bitstream.corrupted` for
+        fault-injection variants).
+        """
+        cache_key = (region, asp.kind, tuple(asp.params()))
+        cached = self._bitstream_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        frames = encode_asp_frames(self.layout.region_frame_count(region), asp)
+        bitstream = self.builder.build_partial(
+            region,
+            frames,
+            pad_to_bytes=self.config.pad_bitstreams_to,
+            description=description or f"{asp.name} for {region}",
+        )
+        # Golden CRC of the region content after a correct load, used by
+        # the read-back scrubber.
+        bitstream.meta["region_crc"] = crc32c_words(
+            w for frame in frames for w in frame
+        )
+        self._bitstream_cache[cache_key] = bitstream
+        return bitstream
+
+    def stage_bitstream(self, bitstream: Bitstream, addr: Optional[int] = None) -> int:
+        """Place a bitstream in DRAM; returns its address.
+
+        Untimed (bench provisioning).  The boot-from-SD example stages
+        through the timed SD-card path instead.
+        """
+        if addr is None:
+            staged = self._staged_addrs.get(id(bitstream))
+            if staged is not None:
+                return staged  # already resident in DRAM
+            addr = self._staging_cursor
+            self._staging_cursor += (bitstream.size_bytes + 0xFFF) & ~0xFFF
+            self._staged_addrs[id(bitstream)] = addr
+        self.dram.store(addr, bitstream.to_bytes())
+        return addr
+
+    # ------------------------------------------------------------- main entry --
+    def reconfigure(
+        self,
+        region: str,
+        asp: Asp,
+        freq_mhz: float,
+        bitstream: Optional[Bitstream] = None,
+    ) -> ReconfigResult:
+        """Run one complete over-clocked PDR measurement.
+
+        Blocks (in simulation time) until the firmware sequence finishes
+        and returns the Table-I-style result record.
+        """
+        if region not in self.regions:
+            raise KeyError(f"unknown region {region!r}")
+        process = self.sim.process(
+            self.reconfigure_process(region, asp, freq_mhz, bitstream),
+            name=f"fw.reconfigure:{region}",
+        )
+        result: ReconfigResult = self.sim.run_until(process)
+        self.results.append(result)
+        return result
+
+    def reconfigure_process(
+        self,
+        region: str,
+        asp: Asp,
+        freq_mhz: float,
+        bitstream: Optional[Bitstream] = None,
+    ):
+        """The reconfiguration sequence as a raw process generator.
+
+        For callers that are themselves simulation processes (e.g. the
+        HLL framework's job scheduler); :meth:`reconfigure` is the
+        blocking convenience wrapper around the same sequence.
+        """
+        if bitstream is None:
+            bitstream = self.make_bitstream(region, asp)
+        addr = self.stage_bitstream(bitstream)
+        return self._firmware_sequence(region, bitstream, addr, freq_mhz)
+
+    def run_asp(self, region: str, words: List[int]) -> List[int]:
+        """Execute the currently configured ASP of ``region`` functionally."""
+        return self.regions[region].compute(words)
+
+    # ------------------------------------------------------ batch (SG) mode --
+    def reconfigure_batch(
+        self, jobs: List[tuple], freq_mhz: float
+    ) -> "BatchReconfigResult":
+        """Reconfigure several partitions back-to-back via SG descriptors.
+
+        ``jobs`` is a list of ``(region, asp)`` pairs.  A scatter-gather
+        descriptor chain in DRAM points at each staged bitstream; the DMA
+        walks the chain with no software between transfers, so the
+        per-transfer driver overhead is paid once for the whole batch.
+        """
+        from ..dma.descriptors import SgDescriptor, SgDmaEngine, write_descriptor_chain
+
+        if not jobs:
+            raise ValueError("batch needs at least one (region, asp) job")
+        bitstreams = []
+        descriptors = []
+        for region, asp in jobs:
+            if region not in self.regions:
+                raise KeyError(f"unknown region {region!r}")
+            bitstream = self.make_bitstream(region, asp)
+            addr = self.stage_bitstream(bitstream)
+            bitstreams.append((region, bitstream))
+            descriptors.append(
+                SgDescriptor(buffer_addr=addr, length=bitstream.size_bytes)
+            )
+        chain_base = 0x0F00_0000  # below the bitstream staging area
+        head = write_descriptor_chain(self.dram, chain_base, descriptors)
+        engine = SgDmaEngine(self.dma, name="sg")
+
+        def sequence():
+            achieved = yield self.clock_wizard.program(freq_mhz)
+            temp_c = self.thermal.temperature_c
+            control_ok = self.timing.ok(PDR_CONTROL_PATH, achieved, temp_c)
+            data_ok = self.timing.ok(PDR_DATA_PATH, achieved, temp_c)
+            self.dma.suppress_completion_irq = False  # SG needs per-buffer IOC
+            if not data_ok:
+                fmax = self.timing.path(PDR_DATA_PATH).fmax_mhz(temp_c)
+                self.icap.word_corruptor = make_word_corruptor(achieved, fmax, temp_c)
+            else:
+                self.icap.word_corruptor = None
+
+            start_ticks = self.timer.read_ticks()
+            yield self.sim.timeout(self.config.firmware_setup_us * 1e3)
+            self.icap.begin_transfer()
+            walk = engine.start_chain(head)
+            yield walk
+            latency_us = self.timer.elapsed_us(start_ticks)
+
+            region_valid = {}
+            for region, bitstream in bitstreams:
+                self.scrubber.set_expected_crc(region, bitstream.meta["region_crc"])
+                scrub = yield self.sim.process(
+                    self.scrubber.scrub_region_once(region)
+                )
+                region_valid[region] = scrub.ok
+            return BatchReconfigResult(
+                freq_mhz=achieved,
+                latency_us=latency_us,
+                total_bytes=sum(b.size_bytes for _r, b in bitstreams),
+                region_valid=region_valid,
+                control_path_ok=control_ok,
+            )
+
+        process = self.sim.process(sequence(), name="fw.batch")
+        return self.sim.run_until(process)
+
+    # ---------------------------------------------------------------- firmware --
+    def _firmware_sequence(self, region, bitstream, addr, freq_mhz):
+        """The paper's C test program, as a simulation process."""
+        config = self.config
+
+        # 1. Program the Clock Wizard and wait for MMCM lock.
+        achieved = yield self.clock_wizard.program(freq_mhz)
+        self.trace.emit(
+            self.sim.now, "fw", f"clock locked at {achieved:g} MHz for {region}"
+        )
+
+        # 2. Ask the "silicon" what breaks at this operating point.
+        temp_c = self.thermal.temperature_c
+        failure_modes = []
+        control_ok = self.timing.ok(PDR_CONTROL_PATH, achieved, temp_c)
+        data_ok = self.timing.ok(PDR_DATA_PATH, achieved, temp_c)
+        self.dma.suppress_completion_irq = not control_ok
+        if not control_ok:
+            failure_modes.append(FailureMode.CONTROL_HANG)
+        if not data_ok:
+            fmax = self.timing.path(PDR_DATA_PATH).fmax_mhz(temp_c)
+            self.icap.word_corruptor = make_word_corruptor(achieved, fmax, temp_c)
+            failure_modes.append(FailureMode.DATA_CORRUPT)
+        else:
+            self.icap.word_corruptor = None
+
+        # 3. Timestamp, then driver setup: the paper's C-timer wraps the
+        #    whole transfer call, cache maintenance included.
+        start_ticks = self.timer.read_ticks()
+        yield self.sim.timeout(config.firmware_setup_us * 1e3)
+
+        # 4. Arm the ICAP and start the DMA.
+        self.icap.begin_transfer()
+        self.dma.reg_write(MM2S_DMACR, DMACR_RS | DMACR_IOC_IRQ_EN)
+        self.dma.reg_write(MM2S_SA, addr)
+        self.dma.reg_write(MM2S_LENGTH, bitstream.size_bytes)
+
+        # 5. Wait for the completion interrupt (or give up).
+        irq_event = self.dma.ioc_irq.wait_assert()
+        timeout_event = self.sim.timeout(config.irq_timeout_us * 1e3)
+        fired = yield self.sim.any_of([irq_event, timeout_event])
+        interrupt_seen = irq_event in fired
+        self.trace.emit(
+            self.sim.now,
+            "fw",
+            "completion interrupt received" if interrupt_seen
+            else "TIMEOUT waiting for completion interrupt",
+        )
+        latency_us: Optional[float] = None
+        if interrupt_seen:
+            latency_us = self.timer.elapsed_us(start_ticks)
+            self.dma.reg_write(MM2S_DMASR, DMASR_IOC_IRQ)  # ack (W1C)
+        # Let the ICAP finish draining whatever the DMA pushed.
+        yield self.icap.busy.wait_for(False)
+        yield self.overclock.wait_cycles(16)
+
+        # 6. Read-back CRC check of the freshly configured region.
+        self.scrubber.set_expected_crc(region, bitstream.meta["region_crc"])
+        scrub = yield self.sim.process(
+            self.scrubber.scrub_region_once(region), name="fw.scrub"
+        )
+        crc_valid = scrub.ok
+        self.trace.emit(
+            self.sim.now,
+            "fw",
+            f"read-back CRC for {region}: {'valid' if crc_valid else 'NOT VALID'}",
+        )
+
+        # 7. Report on the OLED, sample power, return the record.
+        board_power = self.current_sense.read_board_power_w()
+        pdr_power = board_power - self.power_model.params.p0_board_w
+        result = ReconfigResult(
+            region=region,
+            requested_freq_mhz=freq_mhz,
+            freq_mhz=achieved,
+            bitstream_bytes=bitstream.size_bytes,
+            temp_c=temp_c,
+            interrupt_seen=interrupt_seen,
+            crc_valid=crc_valid,
+            latency_us=latency_us,
+            pdr_power_w=pdr_power,
+            board_power_w=board_power,
+            failure_modes=failure_modes,
+        )
+        self._update_oled(result)
+        return result
+
+    def _update_oled(self, result: ReconfigResult) -> None:
+        self.oled.write_line(0, f"FREQ {result.freq_mhz:6.1f} MHz")
+        self.oled.write_line(1, f"TEMP {self.temp_sensor.read_celsius():5.1f} C")
+        if result.latency_us is not None:
+            self.oled.write_line(2, f"XFER {result.latency_us:8.1f} us")
+        else:
+            self.oled.write_line(2, "XFER   no interrupt")
+        self.oled.write_line(3, f"CRC  {'valid' if result.crc_valid else 'NOT VALID'}")

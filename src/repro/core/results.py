@@ -1,0 +1,99 @@
+"""Result records returned by the PDR systems."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["BatchReconfigResult", "ReconfigResult"]
+
+
+@dataclass
+class ReconfigResult:
+    """Outcome of one partial-reconfiguration attempt.
+
+    Mirrors what the paper's test firmware can observe: the C-timer
+    latency (absent when the completion interrupt never fires), the
+    off-line computed throughput, the read-back CRC verdict, and the
+    power/temperature operating point.
+    """
+
+    region: str
+    requested_freq_mhz: float
+    freq_mhz: float                     #: actually synthesised clock
+    bitstream_bytes: int
+    temp_c: float
+    interrupt_seen: bool
+    crc_valid: bool
+    latency_us: Optional[float] = None  #: None when no completion interrupt
+    pdr_power_w: float = 0.0
+    board_power_w: float = 0.0
+    failure_modes: List[str] = field(default_factory=list)
+
+    @property
+    def throughput_mb_s(self) -> Optional[float]:
+        """Off-line throughput: size / latency (the paper's method)."""
+        if self.latency_us is None or self.latency_us <= 0:
+            return None
+        return self.bitstream_bytes / self.latency_us  # B/us == MB/s
+
+    @property
+    def energy_mj(self) -> Optional[float]:
+        """PDR energy of the transfer in millijoules."""
+        if self.latency_us is None:
+            return None
+        return self.pdr_power_w * self.latency_us / 1e3
+
+    @property
+    def power_efficiency_mb_per_j(self) -> Optional[float]:
+        """Table II's performance-per-watt figure."""
+        throughput = self.throughput_mb_s
+        if throughput is None or self.pdr_power_w <= 0:
+            return None
+        return throughput / self.pdr_power_w
+
+    @property
+    def succeeded(self) -> bool:
+        """Full success: interrupt arrived and read-back CRC matches."""
+        return self.interrupt_seen and self.crc_valid
+
+    def summary(self) -> str:
+        latency = (
+            f"{self.latency_us:9.1f} us" if self.latency_us is not None
+            else "  N/A (no interrupt)"
+        )
+        throughput = (
+            f"{self.throughput_mb_s:7.2f} MB/s" if self.throughput_mb_s is not None
+            else "    N/A"
+        )
+        crc = "valid" if self.crc_valid else "NOT VALID"
+        return (
+            f"{self.region} @ {self.freq_mhz:6.1f} MHz, {self.temp_c:5.1f} C: "
+            f"latency {latency}, throughput {throughput}, CRC {crc}"
+        )
+
+
+@dataclass
+class BatchReconfigResult:
+    """Outcome of a scatter-gather batch of reconfigurations."""
+
+    freq_mhz: float
+    latency_us: float
+    total_bytes: int
+    #: region -> read-back CRC verdict after the whole chain completed.
+    region_valid: dict = field(default_factory=dict)
+    control_path_ok: bool = True
+
+    @property
+    def throughput_mb_s(self) -> float:
+        if self.latency_us <= 0:
+            return 0.0
+        return self.total_bytes / self.latency_us
+
+    @property
+    def all_valid(self) -> bool:
+        return bool(self.region_valid) and all(self.region_valid.values())
+
+    @property
+    def regions(self) -> List[str]:
+        return sorted(self.region_valid)

@@ -1,0 +1,106 @@
+"""Per-partition AXI4-Lite control interface (paper Fig. 1).
+
+"Each RP can be connected to the PS through the 32-bit AXI GP ports using
+the AXI4-Lite bus.  Interrupts are used to signal change of status (end
+of configuration, data ready, etc.) in the RP areas to the PS."
+
+:class:`RpControlInterface` gives one reconfigurable partition the
+register map the PS driver sees over a GP port:
+
+======  ========  ====================================================
+offset  name      contents
+======  ========  ====================================================
+0x00    ID        ASP kind id currently configured (0xFFFF_FFFF blank)
+0x04    STATUS    bit0 configured, bit1 decode-error, bit2 busy
+0x08    GENCOUNT  reconfiguration generation counter
+0x0C    CONTROL   bit0 IRQ enable (data-ready)
+======  ========  ====================================================
+
+plus a ``data_ready`` interrupt line pulsed when the partition's data
+channel finishes a job.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..axi.lite import AxiLiteRegisterFile
+from ..fabric.asp import AspDecodeError
+from ..fabric.region import RegionNotConfigured, RpRegion
+from ..sim import ClockDomain, InterruptLine, Simulator
+
+__all__ = ["RpControlInterface"]
+
+REG_ID = 0x00
+REG_STATUS = 0x04
+REG_GENCOUNT = 0x08
+REG_CONTROL = 0x0C
+
+STATUS_CONFIGURED = 1 << 0
+STATUS_DECODE_ERROR = 1 << 1
+STATUS_BUSY = 1 << 2
+
+CONTROL_IRQ_EN = 1 << 0
+
+_ID_BLANK = 0xFFFFFFFF
+
+
+class RpControlInterface:
+    """GP-port register window into one partition."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bus_clock: ClockDomain,
+        region: RpRegion,
+        name: str = "",
+    ):
+        self.sim = sim
+        self.region = region
+        self.name = name or f"rpctl.{region.name}"
+        self.regs = AxiLiteRegisterFile(sim, bus_clock, name=self.name)
+        self.data_ready_irq = InterruptLine(sim, name=f"{self.name}.ready")
+        self._busy = False
+        self._control = CONTROL_IRQ_EN
+        self.regs.define(REG_ID, on_read=self._read_id, read_only=True)
+        self.regs.define(REG_STATUS, on_read=self._read_status, read_only=True)
+        self.regs.define(REG_GENCOUNT, on_read=self._read_gencount, read_only=True)
+        self.regs.define(
+            REG_CONTROL, reset=self._control, on_write=self._write_control
+        )
+
+    # -- hardware-side hooks ------------------------------------------------
+    def set_busy(self, busy: bool) -> None:
+        """Driven by the data channel around job execution."""
+        self._busy = bool(busy)
+
+    def signal_data_ready(self) -> None:
+        """Pulse the data-ready interrupt (if enabled)."""
+        if self._control & CONTROL_IRQ_EN:
+            self.data_ready_irq.pulse()
+
+    # -- register behaviour -----------------------------------------------------
+    def _read_id(self) -> int:
+        try:
+            return self.region.current_asp().kind
+        except (RegionNotConfigured, AspDecodeError):
+            return _ID_BLANK
+
+    def _read_status(self) -> int:
+        status = 0
+        try:
+            self.region.current_asp()
+            status |= STATUS_CONFIGURED
+        except RegionNotConfigured:
+            pass
+        except AspDecodeError:
+            status |= STATUS_DECODE_ERROR
+        if self._busy:
+            status |= STATUS_BUSY
+        return status
+
+    def _read_gencount(self) -> int:
+        return self.region.reconfiguration_count & 0xFFFFFFFF
+
+    def _write_control(self, value: int) -> None:
+        self._control = value

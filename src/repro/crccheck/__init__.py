@@ -1,0 +1,5 @@
+"""The CRC Bitstream Read-Back scrubber of the paper's Fig. 2."""
+
+from .scrubber import CrcScrubber, ScrubResult
+
+__all__ = ["CrcScrubber", "ScrubResult"]

@@ -1,0 +1,45 @@
+"""AXI4-Lite front-end for the DMA register file.
+
+The PS programs the AXI DMA through a GP port + AXI4-Lite.  The core
+engine exposes plain ``reg_read``/``reg_write`` (zero-time, convenient
+for firmware models); this adapter mounts those registers behind a timed
+:class:`~repro.axi.lite.AxiLiteRegisterFile`, so drivers that want
+bus-accurate control-plane timing can have it::
+
+    frontend = DmaLiteFrontend(sim, gp_clock, dma)
+    yield frontend.regs.write(MM2S_SA, addr)
+    yield frontend.regs.write(MM2S_LENGTH, size)   # starts the transfer
+"""
+
+from __future__ import annotations
+
+from ..axi.lite import AxiLiteRegisterFile
+from ..sim import ClockDomain, Simulator
+
+from .engine import AxiDmaEngine
+from .registers import MM2S_DMACR, MM2S_DMASR, MM2S_LENGTH, MM2S_SA
+
+__all__ = ["DmaLiteFrontend"]
+
+
+class DmaLiteFrontend:
+    """Mounts a DMA engine's registers on an AXI4-Lite register file."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bus_clock: ClockDomain,
+        dma: AxiDmaEngine,
+        name: str = "dma_lite",
+    ):
+        self.dma = dma
+        self.regs = AxiLiteRegisterFile(sim, bus_clock, name=name)
+        for offset in (MM2S_DMACR, MM2S_DMASR, MM2S_SA, MM2S_LENGTH):
+            self._mount(offset)
+
+    def _mount(self, offset: int) -> None:
+        self.regs.define(
+            offset,
+            on_write=lambda value, offset=offset: self.dma.reg_write(offset, value),
+            on_read=lambda offset=offset: self.dma.reg_read(offset),
+        )

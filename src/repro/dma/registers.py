@@ -1,0 +1,43 @@
+"""Xilinx-AXI-DMA-compatible register offsets and bit fields (MM2S path)."""
+
+from __future__ import annotations
+
+__all__ = [
+    "MM2S_DMACR",
+    "MM2S_DMASR",
+    "MM2S_SA",
+    "MM2S_LENGTH",
+    "S2MM_DMACR",
+    "S2MM_DMASR",
+    "S2MM_DA",
+    "S2MM_LENGTH",
+    "DMACR_RS",
+    "DMACR_RESET",
+    "DMACR_IOC_IRQ_EN",
+    "DMASR_HALTED",
+    "DMASR_IDLE",
+    "DMASR_IOC_IRQ",
+    "DMASR_DMA_INT_ERR",
+]
+
+# Register offsets (direct register mode).
+MM2S_DMACR = 0x00   #: Control: run/stop, reset, interrupt enables
+MM2S_DMASR = 0x04   #: Status: halted/idle/error, interrupt flags (W1C)
+MM2S_SA = 0x18      #: Source address (lower 32 bits)
+MM2S_LENGTH = 0x28  #: Transfer length in bytes; writing starts the transfer
+
+S2MM_DMACR = 0x30   #: Stream-to-memory control
+S2MM_DMASR = 0x34   #: Stream-to-memory status
+S2MM_DA = 0x48      #: Destination address (lower 32 bits)
+S2MM_LENGTH = 0x58  #: Buffer length in bytes; writing arms the receive
+
+# MM2S_DMACR bits.
+DMACR_RS = 1 << 0
+DMACR_RESET = 1 << 2
+DMACR_IOC_IRQ_EN = 1 << 12
+
+# MM2S_DMASR bits.
+DMASR_HALTED = 1 << 0
+DMASR_IDLE = 1 << 1
+DMASR_DMA_INT_ERR = 1 << 4
+DMASR_IOC_IRQ = 1 << 12

@@ -1,0 +1,6 @@
+"""DDR3 DRAM device + controller models (the PS memory system)."""
+
+from .controller import DramController, MemoryRequest
+from .device import DdrTiming, DramDevice
+
+__all__ = ["DdrTiming", "DramController", "DramDevice", "MemoryRequest"]

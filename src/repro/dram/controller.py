@@ -1,0 +1,96 @@
+"""DDR memory controller.
+
+A single-ported server that executes read/write bursts against the
+:class:`~repro.dram.device.DramDevice` in arrival order.  Multiple AXI
+masters reach it through the interconnect; the controller serialises
+them, which is one ingredient of the paper's memory-path bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sim import Channel, Event, Simulator
+
+from .device import DramDevice
+
+__all__ = ["DramController", "MemoryRequest"]
+
+
+@dataclass
+class MemoryRequest:
+    """One burst request as issued by an AXI master."""
+
+    addr: int
+    size: int
+    is_write: bool = False
+    data: Optional[bytes] = None
+    #: Filled by the controller for reads.
+    read_data: Optional[bytes] = field(default=None, repr=False)
+    done: Optional[Event] = None
+
+
+class DramController:
+    """FIFO-serving DDR controller process."""
+
+    def __init__(self, sim: Simulator, device: Optional[DramDevice] = None, name: str = "ddrc"):
+        self.sim = sim
+        self.device = device or DramDevice()
+        self.name = name
+        self._queue: Channel = Channel(sim, name=f"{name}.queue")
+        self.requests_served = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.busy_ns = 0.0
+        self._last_refresh_ns = 0.0
+        sim.process(self._serve(), name=f"{name}.server", daemon=True)
+
+    # -- master-facing API ----------------------------------------------------
+    def read(self, addr: int, size: int) -> Event:
+        """Submit a read burst; the event's value is the data bytes."""
+        request = MemoryRequest(addr=addr, size=size, done=self.sim.event())
+        self._queue.try_put(request)
+        return request.done
+
+    def write(self, addr: int, data: bytes) -> Event:
+        """Submit a write burst; the event fires when committed."""
+        request = MemoryRequest(
+            addr=addr, size=len(data), is_write=True, data=data, done=self.sim.event()
+        )
+        self._queue.try_put(request)
+        return request.done
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.level
+
+    # -- server ------------------------------------------------------------------
+    def _serve(self):
+        timing = self.device.timing
+        while True:
+            request = yield self._queue.get()
+            started = self.sim.now
+            # Refresh stalls: one tRFC-ish stall per elapsed tREFI.
+            # Refreshes that fell in an idle period already completed and
+            # cost nothing; at most one can collide with this request.
+            refresh_debt = 0.0
+            elapsed = self.sim.now - self._last_refresh_ns
+            if elapsed >= timing.refresh_interval_ns:
+                intervals = int(elapsed // timing.refresh_interval_ns)
+                self._last_refresh_ns += intervals * timing.refresh_interval_ns
+                refresh_debt = timing.refresh_stall_ns
+            access = self.device.access_latency_ns(request.addr, request.size)
+            transfer = self.device.transfer_ns(request.size)
+            yield self.sim.timeout(refresh_debt + access + transfer)
+
+            if request.is_write:
+                assert request.data is not None
+                self.device.store(request.addr, request.data)
+                self.bytes_written += request.size
+            else:
+                request.read_data = self.device.load(request.addr, request.size)
+                self.bytes_read += request.size
+            self.requests_served += 1
+            self.busy_ns += self.sim.now - started
+            request.done.succeed(request.read_data)

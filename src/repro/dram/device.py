@@ -1,0 +1,108 @@
+"""DDR3 SDRAM device timing model.
+
+Models the Zynq PS DDR3 (32-bit DDR3-1066): a peak data rate of
+~4 264 MB/s and bank/row state, so sequential bursts mostly hit open rows
+while scattered accesses pay the activate+precharge penalty.  Latencies
+are lumped end-to-end values as seen from the DDR controller port (they
+include controller queuing), calibrated so the full HP-port path matches
+the paper's measured memory-side bandwidth (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["DdrTiming", "DramDevice"]
+
+
+@dataclass(frozen=True)
+class DdrTiming:
+    """Lumped DDR timing parameters (ns unless noted)."""
+
+    #: Peak data rate in bytes/ns (32-bit DDR3-1066 = 4.264 GB/s).
+    peak_bytes_per_ns: float = 4.264
+    #: End-to-end access latency when the target row is already open.
+    row_hit_ns: float = 202.0
+    #: Access latency when a new row must be activated.
+    row_miss_ns: float = 302.0
+    #: Bytes per DRAM row (page size x device width).
+    row_bytes: int = 8192
+    #: Number of banks (rows stay open per bank).
+    banks: int = 8
+    #: Refresh: one row refresh every tREFI, stalling the device.
+    refresh_interval_ns: float = 7800.0
+    refresh_stall_ns: float = 160.0
+
+
+class DramDevice:
+    """Bank/row state + a backing byte store.
+
+    The device is passive: :class:`~repro.dram.controller.DramController`
+    drives :meth:`access_latency_ns` for timing and the load/store methods
+    for data.  Storage is sparse (dict of 4 KiB pages) because the Zynq's
+    512 MB DRAM is mostly untouched in any one experiment.
+    """
+
+    _PAGE = 4096
+
+    def __init__(self, size_bytes: int = 512 * 1024 * 1024, timing: DdrTiming = DdrTiming()):
+        if size_bytes <= 0:
+            raise ValueError("DRAM size must be positive")
+        self.size_bytes = size_bytes
+        self.timing = timing
+        self._open_rows: Dict[int, int] = {}  # bank -> open row index
+        self._pages: Dict[int, bytearray] = {}
+        self.row_hits = 0
+        self.row_misses = 0
+
+    # -- timing -------------------------------------------------------------
+    def access_latency_ns(self, addr: int, size: int) -> float:
+        """Access latency for a burst at ``addr`` (updates row state)."""
+        self._bounds(addr, size)
+        row = addr // self.timing.row_bytes
+        bank = row % self.timing.banks
+        if self._open_rows.get(bank) == row:
+            self.row_hits += 1
+            return self.timing.row_hit_ns
+        self._open_rows[bank] = row
+        self.row_misses += 1
+        return self.timing.row_miss_ns
+
+    def transfer_ns(self, size: int) -> float:
+        """Pure data time for ``size`` bytes at peak rate."""
+        return size / self.timing.peak_bytes_per_ns
+
+    # -- data -----------------------------------------------------------------
+    def store(self, addr: int, data: bytes) -> None:
+        self._bounds(addr, len(data))
+        offset = 0
+        while offset < len(data):
+            page_index, page_offset = divmod(addr + offset, self._PAGE)
+            chunk = min(self._PAGE - page_offset, len(data) - offset)
+            page = self._pages.get(page_index)
+            if page is None:
+                page = self._pages[page_index] = bytearray(self._PAGE)
+            page[page_offset : page_offset + chunk] = data[offset : offset + chunk]
+            offset += chunk
+
+    def load(self, addr: int, size: int) -> bytes:
+        self._bounds(addr, size)
+        out = bytearray(size)
+        offset = 0
+        while offset < size:
+            page_index, page_offset = divmod(addr + offset, self._PAGE)
+            chunk = min(self._PAGE - page_offset, size - offset)
+            page = self._pages.get(page_index)
+            if page is not None:
+                out[offset : offset + chunk] = page[page_offset : page_offset + chunk]
+            offset += chunk
+        return bytes(out)
+
+    # -- internals ----------------------------------------------------------
+    def _bounds(self, addr: int, size: int) -> None:
+        if addr < 0 or size < 0 or addr + size > self.size_bytes:
+            raise ValueError(
+                f"DRAM access [{addr:#x}, +{size}) outside device "
+                f"({self.size_bytes:#x} bytes)"
+            )

@@ -1,0 +1,42 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+==========  ===============================================  =================
+module      paper artifact                                   bench target
+==========  ===============================================  =================
+table1      Table I  (throughput vs. frequency)              test_bench_table1
+fig5        Fig. 5   (throughput/frequency plane + knee)     test_bench_fig5
+fig6        Fig. 6   (power vs. frequency x temperature)     test_bench_fig6
+table2      Table II (power efficiency, MB/J)                test_bench_table2
+temp_stress §IV-A    (heat-gun stress matrix)                test_bench_temp_stress
+table3      Table III(related-work comparison) + §V scaling  test_bench_table3
+proposed    §VI      (SRAM PR environment, 1237.5 MB/s)      test_bench_proposed
+==========  ===============================================  =================
+"""
+
+from . import (
+    calibration,
+    fig5,
+    fig6,
+    methodology,
+    proposed,
+    sensitivity,
+    table1,
+    table2,
+    table3,
+    temp_stress,
+    workloads,
+)
+
+__all__ = [
+    "calibration",
+    "methodology",
+    "fig5",
+    "fig6",
+    "proposed",
+    "sensitivity",
+    "table1",
+    "table2",
+    "table3",
+    "temp_stress",
+    "workloads",
+]

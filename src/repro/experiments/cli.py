@@ -1,0 +1,113 @@
+"""Command-line front end: regenerate any (or every) paper artifact.
+
+Usage::
+
+    repro-pdr all
+    repro-pdr table1 table2
+    python -m repro.experiments.cli fig5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from . import (
+    fig5,
+    fig6,
+    methodology,
+    proposed,
+    table1,
+    table2,
+    sensitivity,
+    table3,
+    temp_stress,
+    workloads,
+)
+
+__all__ = ["main"]
+
+
+def _run_table1() -> str:
+    return table1.format_report(table1.run_table1())
+
+
+def _run_fig5() -> str:
+    return fig5.format_report(fig5.run_fig5())
+
+
+def _run_fig6() -> str:
+    return fig6.format_report(fig6.run_fig6())
+
+
+def _run_table2() -> str:
+    return table2.format_report(table2.run_table2())
+
+
+def _run_temp_stress() -> str:
+    return temp_stress.format_report(temp_stress.run_temp_stress())
+
+
+def _run_table3() -> str:
+    rows = table3.run_table3()
+    sweeps = table3.run_scaling_sweep(controllers=[r.controller for r in rows])
+    return table3.format_report(rows, sweeps)
+
+
+def _run_proposed() -> str:
+    return proposed.format_report(proposed.run_proposed())
+
+
+def _run_methodology() -> str:
+    return methodology.format_report(methodology.characterize_pdr_system())
+
+
+def _run_campaign() -> str:
+    return workloads.format_report(workloads.compare_icap_frequencies())
+
+
+def _run_sensitivity() -> str:
+    return sensitivity.format_report(sensitivity.run_sensitivity())
+
+
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "table1": _run_table1,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "table2": _run_table2,
+    "temp-stress": _run_temp_stress,
+    "table3": _run_table3,
+    "proposed": _run_proposed,
+    "methodology": _run_methodology,
+    "campaign": _run_campaign,
+    "sensitivity": _run_sensitivity,
+}
+
+
+def main(argv=None) -> int:
+    """Parse arguments and print the requested experiment reports."""
+    parser = argparse.ArgumentParser(
+        prog="repro-pdr",
+        description=(
+            "Regenerate the tables and figures of 'Robust Throughput "
+            "Boosting for Low Latency Dynamic Partial Reconfiguration' "
+            "(SOCC 2017) on the simulated Zynq platform."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which paper artifacts to regenerate",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    for name in names:
+        print(EXPERIMENTS[name]())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

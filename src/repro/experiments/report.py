@@ -1,0 +1,57 @@
+"""Table formatting shared by the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["format_table", "fmt", "fmt_err", "ExperimentReport"]
+
+
+def fmt(value: Optional[float], digits: int = 2, na: str = "N/A") -> str:
+    """Format a float or an absent measurement."""
+    if value is None:
+        return na
+    return f"{value:.{digits}f}"
+
+
+def fmt_err(measured: Optional[float], reference: Optional[float]) -> str:
+    """Relative error column: measured vs the paper's value."""
+    if measured is None or reference is None or reference == 0:
+        return "-"
+    return f"{(measured - reference) / reference * 100:+.1f}%"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Plain-text table with right-aligned numeric-looking columns."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {columns}")
+    widths = [
+        max(len(str(headers[c])), *(len(str(r[c])) for r in rows)) if rows
+        else len(str(headers[c]))
+        for c in range(columns)
+    ]
+    def line(cells):
+        return "  ".join(str(cell).rjust(widths[i]) for i, cell in enumerate(cells))
+
+    rule = "  ".join("-" * w for w in widths)
+    out = [line(headers), rule]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+class ExperimentReport:
+    """A titled collection of text sections (tables, plots, notes)."""
+
+    def __init__(self, title: str):
+        self.title = title
+        self.sections: List[str] = []
+
+    def add(self, text: str) -> None:
+        self.sections.append(text)
+
+    def render(self) -> str:
+        bar = "=" * max(len(self.title), 40)
+        body = "\n\n".join(self.sections)
+        return f"{bar}\n{self.title}\n{bar}\n\n{body}\n"

@@ -1,0 +1,173 @@
+"""Experiment E6 — Table III: comparison with related work.
+
+Runs every baseline controller at its published operating point on the
+reference bitstream and reproduces the comparison table, plus the §V
+frequency-scaling narrative (E8): how each design behaves as the clock
+rises, including VF-2012's fail/freeze thresholds and HP-2011's
+active-feedback clamp.
+
+Regenerate with ``python -m repro.experiments.table3``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..baselines import (
+    BaselineResult,
+    Hkt2011Controller,
+    Hp2011Controller,
+    PcapBaselineController,
+    ReconfigController,
+    ThisWorkController,
+    TransferOutcome,
+    Vf2012Controller,
+)
+from ..core import TABLE1_BITSTREAM_BYTES
+
+from .calibration import PAPER_TABLE3
+from .report import ExperimentReport, fmt, fmt_err, format_table
+
+__all__ = [
+    "Table3Row",
+    "default_controllers",
+    "run_table3",
+    "run_scaling_sweep",
+    "format_report",
+    "main",
+]
+
+#: HKT-2011 is quoted for FIFO-resident bitstreams ("up to 50 KB").
+HKT_BITSTREAM_BYTES = 50 * 1024
+
+
+@dataclass
+class Table3Row:
+    controller: ReconfigController
+    result: BaselineResult
+    paper_platform: str
+    paper_freq_mhz: float
+    paper_throughput_mb_s: float
+
+
+def default_controllers(
+    this_work: Optional[ThisWorkController] = None,
+) -> List[ReconfigController]:
+    """The four Table III comparison controllers."""
+    return [
+        Vf2012Controller(),
+        Hp2011Controller(),
+        Hkt2011Controller(),
+        this_work or ThisWorkController(),
+    ]
+
+
+def run_table3(
+    controllers: Optional[List[ReconfigController]] = None,
+) -> List[Table3Row]:
+    """Run every controller at its published operating point."""
+    rows = []
+    for controller in controllers or default_controllers():
+        size = (
+            HKT_BITSTREAM_BYTES
+            if isinstance(controller, Hkt2011Controller)
+            else TABLE1_BITSTREAM_BYTES
+        )
+        result = controller.transfer(size, controller.table3_operating_point())
+        paper = PAPER_TABLE3.get(controller.design)
+        if paper is None:
+            paper = (controller.platform, controller.table3_operating_point(), 0.0)
+        rows.append(
+            Table3Row(
+                controller=controller,
+                result=result,
+                paper_platform=paper[0],
+                paper_freq_mhz=paper[1],
+                paper_throughput_mb_s=paper[2],
+            )
+        )
+    return rows
+
+
+def run_scaling_sweep(
+    controllers: Optional[List[ReconfigController]] = None,
+    frequencies: Optional[List[float]] = None,
+) -> Dict[str, List[BaselineResult]]:
+    """E8: per-design frequency sweep (the §V scaling narrative)."""
+    sweeps: Dict[str, List[BaselineResult]] = {}
+    for controller in controllers or default_controllers():
+        results = []
+        for freq in frequencies or [100, 150, 210, 250, 280, 310, 350, 550]:
+            results.append(controller.transfer(TABLE1_BITSTREAM_BYTES, freq))
+        sweeps[controller.design] = results
+    return sweeps
+
+
+def format_report(
+    rows: List[Table3Row],
+    sweeps: Optional[Dict[str, List[BaselineResult]]] = None,
+) -> str:
+    """Render Table III plus the scaling sweeps."""
+    report = ExperimentReport("Table III — comparison with related work")
+    table_rows = []
+    for row in rows:
+        result = row.result
+        table_rows.append(
+            [
+                row.controller.design,
+                row.controller.platform,
+                f"{result.effective_mhz:g}",
+                fmt(result.throughput_mb_s, 0),
+                "yes" if row.controller.has_crc_check else "no",
+                fmt(row.paper_throughput_mb_s, 0),
+                fmt_err(result.throughput_mb_s, row.paper_throughput_mb_s),
+            ]
+        )
+    report.add(
+        format_table(
+            ["design", "platform", "MHz", "MB/s", "CRC", "paper MB/s", "err"],
+            table_rows,
+        )
+    )
+    ranked = sorted(
+        (r for r in rows if r.result.throughput_mb_s),
+        key=lambda r: r.result.throughput_mb_s,
+        reverse=True,
+    )
+    order = " > ".join(f"{r.controller.design}" for r in ranked)
+    report.add(f"ranking (burst throughput): {order}")
+    if sweeps:
+        lines = []
+        for design, results in sweeps.items():
+            cells = []
+            for result in results:
+                if result.outcome == TransferOutcome.FROZE:
+                    cells.append(f"{result.requested_mhz:g}:FROZE")
+                elif result.outcome == TransferOutcome.FAILED:
+                    cells.append(f"{result.requested_mhz:g}:fail")
+                elif result.outcome == TransferOutcome.CLAMPED:
+                    cells.append(
+                        f"{result.requested_mhz:g}:clamp@{result.effective_mhz:g}"
+                    )
+                else:
+                    cells.append(
+                        f"{result.requested_mhz:g}:{result.throughput_mb_s:.0f}"
+                    )
+            lines.append(f"{design:>10}: " + "  ".join(cells))
+        report.add("frequency scaling (MHz:outcome):\n" + "\n".join(lines))
+    return report.render()
+
+
+def main() -> None:
+    """Regenerate Table III and print the report."""
+    rows = run_table3()
+    sweeps = run_scaling_sweep(
+        # Reuse the (already-built) DES system from the table run.
+        controllers=[row.controller for row in rows]
+    )
+    print(format_report(rows, sweeps))
+
+
+if __name__ == "__main__":
+    main()

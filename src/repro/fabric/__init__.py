@@ -1,0 +1,50 @@
+"""Programmable-logic fabric: configuration memory, partitions and ASPs.
+
+Loading a partial bitstream (via the ICAP) writes frames into
+:class:`ConfigMemory`; :class:`RpRegion` decodes those frames into a
+functional :class:`~repro.fabric.asp.Asp` so a reconfigured partition
+really computes something different.
+"""
+
+from .asp import (
+    ASP_MAGIC,
+    Aes128Asp,
+    Asp,
+    AspDecodeError,
+    AspKind,
+    Crc32Asp,
+    FirFilterAsp,
+    MatMulAsp,
+    PassthroughAsp,
+    Sha256Asp,
+    VectorScaleAsp,
+    decode_asp,
+    encode_asp_frames,
+    instantiate_asp,
+)
+from .config_memory import ConfigMemory
+from .readback import golden_region_crcs, region_crc, region_readback_words
+from .region import RegionNotConfigured, RpRegion
+
+__all__ = [
+    "ASP_MAGIC",
+    "Aes128Asp",
+    "Asp",
+    "AspDecodeError",
+    "AspKind",
+    "ConfigMemory",
+    "Crc32Asp",
+    "FirFilterAsp",
+    "MatMulAsp",
+    "PassthroughAsp",
+    "RegionNotConfigured",
+    "RpRegion",
+    "Sha256Asp",
+    "VectorScaleAsp",
+    "decode_asp",
+    "encode_asp_frames",
+    "golden_region_crcs",
+    "instantiate_asp",
+    "region_crc",
+    "region_readback_words",
+]

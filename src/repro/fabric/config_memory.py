@@ -1,0 +1,143 @@
+"""FPGA configuration memory.
+
+The configuration memory is the array of frames that the ICAP writes and
+the read-back path reads.  Loading a partial bitstream mutates the frames
+of one reconfigurable partition, which in turn changes the functional
+behaviour of that partition (see :mod:`repro.fabric.region`).
+
+The model keeps a per-frame generation counter so tests can assert exactly
+which frames a reconfiguration touched, and supports targeted corruption
+for fault-injection experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..bitstream.device import FRAME_WORDS, DeviceLayout
+from ..bitstream.far import FrameAddress
+
+__all__ = ["ConfigMemory"]
+
+
+class ConfigMemory:
+    """The device's frame array, addressed by flat frame index."""
+
+    def __init__(self, layout: DeviceLayout):
+        self.layout = layout
+        self._frames: List[List[int]] = [
+            [0] * FRAME_WORDS for _ in range(layout.total_frames)
+        ]
+        self._generation: List[int] = [0] * layout.total_frames
+        self.total_frame_writes = 0
+        self._watchers: List[Callable[[int], None]] = []
+
+    # -- access ------------------------------------------------------------
+    def read_frame(self, index: int) -> List[int]:
+        """A copy of frame ``index`` (mutating it does not touch the array)."""
+        self._check(index)
+        return list(self._frames[index])
+
+    def write_frame(self, index: int, words: Sequence[int]) -> None:
+        self._check(index)
+        if len(words) != FRAME_WORDS:
+            raise ValueError(
+                f"frame write needs {FRAME_WORDS} words, got {len(words)}"
+            )
+        self._frames[index] = [w & 0xFFFFFFFF for w in words]
+        self._generation[index] += 1
+        self.total_frame_writes += 1
+        for watcher in self._watchers:
+            watcher(index)
+
+    def read_frame_at(self, far: FrameAddress) -> List[int]:
+        return self.read_frame(self.layout.frame_index(far))
+
+    def write_frame_at(self, far: FrameAddress, words: Sequence[int]) -> None:
+        self.write_frame(self.layout.frame_index(far), words)
+
+    def generation(self, index: int) -> int:
+        """How many times frame ``index`` has been written."""
+        self._check(index)
+        return self._generation[index]
+
+    def watch_writes(self, callback: Callable[[int], None]) -> None:
+        """Register ``callback(frame_index)`` on every frame write."""
+        self._watchers.append(callback)
+
+    # -- region views --------------------------------------------------------
+    def region_frames(self, name: str) -> List[List[int]]:
+        """Copies of all frames of a named region, in address order."""
+        return [
+            self.read_frame(self.layout.frame_index(far))
+            for far in self.layout.region_frames(name)
+        ]
+
+    def region_words(self, name: str) -> List[int]:
+        """Flat word list of a region (read-back order)."""
+        words: List[int] = []
+        for frame in self.region_frames(name):
+            words.extend(frame)
+        return words
+
+    def iter_region_words(self, name: str):
+        """Iterate a region's words without copying frames (read-back hot
+        path: the CRC scrubber digests >130 k words per pass)."""
+        for far in self.layout.region_frames(name):
+            yield from self._frames[self.layout.frame_index(far)]
+
+    def write_region(self, name: str, frames: Sequence[Sequence[int]]) -> None:
+        """Directly write a whole region (test/PCAP path, not the ICAP)."""
+        addresses = self.layout.region_frames(name)
+        if len(frames) != len(addresses):
+            raise ValueError(
+                f"region {name} has {len(addresses)} frames, got {len(frames)}"
+            )
+        for far, frame in zip(addresses, frames):
+            self.write_frame_at(far, frame)
+
+    def clear_region(self, name: str) -> None:
+        for far in self.layout.region_frames(name):
+            self.write_frame_at(far, [0] * FRAME_WORDS)
+
+    def region_generation(self, name: str) -> Dict[int, int]:
+        """Generation counter per frame index of the region."""
+        return {
+            self.layout.frame_index(far): self._generation[
+                self.layout.frame_index(far)
+            ]
+            for far in self.layout.region_frames(name)
+        }
+
+    # -- fault injection -------------------------------------------------------
+    def corrupt_word(
+        self, frame_index: int, word_index: int, flip_mask: int = 0x1
+    ) -> None:
+        """XOR-flip one word in place (models an SEU / bad config write)."""
+        self._check(frame_index)
+        if not 0 <= word_index < FRAME_WORDS:
+            raise ValueError(f"word index {word_index} out of range")
+        self._frames[frame_index][word_index] ^= flip_mask
+        # Deliberately does NOT bump the generation counter: corruption is
+        # invisible to the configuration logic, which is exactly why the
+        # paper needs a CRC read-back scrubber.
+
+    def corrupt_region_word(
+        self, name: str, offset_words: int, flip_mask: int = 0x1
+    ) -> None:
+        """Corrupt the ``offset_words``-th word of a region's frame data."""
+        addresses = self.layout.region_frames(name)
+        frame_offset, word_index = divmod(offset_words, FRAME_WORDS)
+        if frame_offset >= len(addresses):
+            raise ValueError(f"offset {offset_words} beyond region {name}")
+        self.corrupt_word(
+            self.layout.frame_index(addresses[frame_offset]), word_index, flip_mask
+        )
+
+    # -- internals ----------------------------------------------------------
+    def _check(self, index: int) -> None:
+        if not 0 <= index < len(self._frames):
+            raise ValueError(
+                f"frame index {index} out of range (device has "
+                f"{len(self._frames)} frames)"
+            )

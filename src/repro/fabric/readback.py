@@ -1,0 +1,32 @@
+"""Configuration read-back helpers.
+
+The CRC scrubber (:mod:`repro.crccheck`) and verification tools read frames
+back out of the configuration memory.  These helpers compute reference
+CRCs over regions so corruption anywhere in a partition is detectable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..bitstream.crc import crc32c_words
+from .config_memory import ConfigMemory
+
+__all__ = ["region_readback_words", "region_crc", "golden_region_crcs"]
+
+
+def region_readback_words(memory: ConfigMemory, region_name: str) -> List[int]:
+    """All words of a region in read-back (frame-address) order."""
+    return memory.region_words(region_name)
+
+
+def region_crc(memory: ConfigMemory, region_name: str) -> int:
+    """CRC-32C over a region's current frame contents."""
+    return crc32c_words(region_readback_words(memory, region_name))
+
+
+def golden_region_crcs(memory: ConfigMemory) -> Dict[str, int]:
+    """Reference CRC of every region at the current instant."""
+    return {
+        name: region_crc(memory, name) for name, _spec in memory.layout.iter_regions()
+    }

@@ -1,0 +1,6 @@
+"""ICAP: the Internal Configuration Access Port and its stream controller."""
+
+from .controller import IcapController
+from .primitive import ConfigPort
+
+__all__ = ["ConfigPort", "IcapController"]

@@ -1,0 +1,77 @@
+"""The AXI4-Stream ICAP controller (the block of refs [8]/[9]).
+
+Consumes 32-bit words from an :class:`~repro.axi.stream.AxiStream` at one
+word per clock cycle — the ICAPE2 primitive's rate, which over-clocking
+raises — and feeds them to the :class:`~repro.icap.primitive.ConfigPort`.
+
+Over-clocking failure injection happens here: an optional *word corruptor*
+(installed by the PDR system from the timing model's verdict) mangles
+words between the stream and the configuration engine, modelling the
+data-path timing violations that make the paper's ≥320 MHz runs fail
+their CRC.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..axi.stream import AxiStream
+from ..fabric.config_memory import ConfigMemory
+from ..sim import ClockDomain, InterruptLine, Signal, Simulator
+
+from .primitive import ConfigPort
+
+__all__ = ["IcapController"]
+
+
+class IcapController:
+    """Timed stream-to-ICAP bridge."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        clock: ClockDomain,
+        memory: ConfigMemory,
+        stream: AxiStream,
+        name: str = "icap",
+    ):
+        self.sim = sim
+        self.clock = clock
+        self.stream = stream
+        self.name = name
+        self.port = ConfigPort(memory)
+        #: High while a configuration stream is being consumed.
+        self.busy = Signal(sim, initial=False, name=f"{name}.busy")
+        #: Rises when the stream desyncs (configuration done).
+        self.done = Signal(sim, initial=False, name=f"{name}.done")
+        #: Asserted if the configuration engine latched an error.
+        self.error_irq = InterruptLine(sim, name=f"{name}.error")
+        #: Optional fault injector: words -> words (set by the PDR system
+        #: when the timing model says the data path is past its fmax).
+        self.word_corruptor: Optional[Callable[[List[int]], List[int]]] = None
+        self.words_consumed = 0
+        sim.process(self._consume(), name=f"{name}.consumer", daemon=True)
+
+    def begin_transfer(self) -> None:
+        """Arm the controller for a new configuration stream."""
+        self.port.reset()
+        self.done.set(False)
+
+    def _consume(self):
+        while True:
+            burst = yield self.stream.pop()
+            self.busy.set(True)
+            words = burst.words
+            # One word per clock cycle through the ICAP.
+            yield self.clock.wait_cycles(len(words))
+            if self.word_corruptor is not None:
+                words = self.word_corruptor(words)
+            self.port.feed_words(words)
+            self.words_consumed += len(words)
+            self.stream.release(len(burst.words))
+            if burst.last:
+                self.busy.set(False)
+                if self.port.desynced:
+                    self.done.set(True)
+                if self.port.has_error:
+                    self.error_irq.assert_()

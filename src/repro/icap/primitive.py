@@ -1,0 +1,229 @@
+"""The device configuration port state machine.
+
+This is the logic behind both the ICAP and the PCAP: it consumes a
+configuration word stream (after bus-width detection and sync), decodes
+type-1/type-2 packets, executes register writes — including FDRI frame
+writes into the configuration memory with FAR auto-increment — folds the
+configuration CRC, and reports the error/done flags the rest of the
+system reacts to.
+
+Like the real silicon, the FDRI path holds one frame in a pipeline
+register: frame *k* commits when frame *k+1* completes, so the trailing
+pad frame that every bitstream carries is never written to the array.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..bitstream.crc import ConfigCrc
+from ..bitstream.device import FRAME_WORDS
+from ..bitstream.far import FrameAddress
+from ..bitstream.packets import NOOP_WORD, SYNC_WORD, decode_header
+from ..bitstream.registers import Command, ConfigRegister
+from ..fabric.config_memory import ConfigMemory
+
+__all__ = ["ConfigPort"]
+
+
+class ConfigPort:
+    """Word-at-a-time configuration engine bound to a config memory."""
+
+    def __init__(self, memory: ConfigMemory):
+        self.memory = memory
+        self.layout = memory.layout
+        self.crc = ConfigCrc()
+        self.reset()
+
+    def reset(self) -> None:
+        """Return to the pre-sync state (as after PROG or power-up)."""
+        self.synced = False
+        self.desynced = False
+        self.wcfg_active = False
+        self.crc_error = False
+        self.idcode_error = False
+        self._last_register: Optional[int] = None
+        self._payload_register: Optional[int] = None
+        self._payload_remaining = 0
+        self._far_index: Optional[int] = None
+        self._frame_buffer: list = []
+        self._held_frame: Optional[list] = None
+        self.frames_committed = 0
+        self.words_consumed = 0
+        self.crc.reset()
+
+    # -- status ------------------------------------------------------------
+    @property
+    def has_error(self) -> bool:
+        return self.crc_error or self.idcode_error
+
+    # -- stream input -----------------------------------------------------------
+    def feed_word(self, word: int) -> None:
+        """Consume one 32-bit configuration word."""
+        word &= 0xFFFFFFFF
+        self.words_consumed += 1
+
+        if not self.synced:
+            if word == SYNC_WORD:
+                self.synced = True
+                self.desynced = False
+            return
+
+        if self._payload_remaining:
+            self._payload_remaining -= 1
+            self._handle_write(self._payload_register, word)
+            return
+
+        if word == NOOP_WORD:
+            return
+        try:
+            header = decode_header(word)
+        except ValueError:
+            # Unknown packet type: a corrupted stream.  Hardware would
+            # raise a status flag; we latch it as a CRC-class error.
+            self.crc_error = True
+            return
+        if header.packet_type == 1:
+            self._last_register = header.register_addr
+            register = header.register_addr
+        else:
+            if self._last_register is None:
+                self.crc_error = True
+                return
+            register = self._last_register
+        if header.word_count and header.is_write:
+            self._payload_register = register
+            self._payload_remaining = header.word_count
+
+    def feed_words(self, words) -> None:
+        """Consume a word sequence, with a bulk fast path for FDRI data.
+
+        Behaviour is identical to calling :meth:`feed_word` per word; the
+        fast path only kicks in while a large FDRI payload is being
+        streamed, which is >98 % of a partial bitstream.
+        """
+        index = 0
+        total = len(words)
+        fdri = int(ConfigRegister.FDRI)
+        while index < total:
+            if (
+                self.synced
+                and self._payload_remaining > 1
+                and self._payload_register == fdri
+            ):
+                chunk_len = min(self._payload_remaining, total - index)
+                chunk = [w & 0xFFFFFFFF for w in words[index : index + chunk_len]]
+                self._payload_remaining -= chunk_len
+                self.words_consumed += chunk_len
+                self.crc.update_run(fdri, chunk)
+                self._fdri_run(chunk)
+                index += chunk_len
+                continue
+            self.feed_word(words[index])
+            index += 1
+
+    def _fdri_run(self, words: list) -> None:
+        """Bulk equivalent of per-word :meth:`_fdri_word`."""
+        if not self.wcfg_active or self.idcode_error:
+            return
+        self._frame_buffer.extend(words)
+        buffer = self._frame_buffer
+        while len(buffer) >= FRAME_WORDS:
+            completed, buffer = buffer[:FRAME_WORDS], buffer[FRAME_WORDS:]
+            if self._held_frame is not None:
+                self._commit_frame(self._held_frame)
+            self._held_frame = completed
+        self._frame_buffer = buffer
+
+    # -- register semantics -------------------------------------------------
+    def _handle_write(self, register: Optional[int], word: int) -> None:
+        if register is None:  # pragma: no cover - guarded in feed_word
+            return
+        if register == int(ConfigRegister.CRC):
+            if not self.crc.check(word):
+                self.crc_error = True
+            return
+
+        self.crc.update(register, word)
+
+        if register == int(ConfigRegister.IDCODE):
+            if word != self.layout.idcode:
+                self.idcode_error = True
+        elif register == int(ConfigRegister.FAR):
+            try:
+                self._far_index = self.layout.frame_index(FrameAddress.decode(word))
+            except ValueError:
+                self.crc_error = True
+        elif register == int(ConfigRegister.FDRI):
+            self._fdri_word(word)
+        elif register == int(ConfigRegister.CMD):
+            self._command(word)
+
+    def _fdri_word(self, word: int) -> None:
+        if not self.wcfg_active or self.idcode_error:
+            return  # writes are ignored until WCFG, or after an ID failure
+        self._frame_buffer.append(word)
+        if len(self._frame_buffer) < FRAME_WORDS:
+            return
+        completed, self._frame_buffer = self._frame_buffer, []
+        if self._held_frame is not None:
+            self._commit_frame(self._held_frame)
+        self._held_frame = completed
+
+    def _commit_frame(self, frame: list) -> None:
+        if self._far_index is None:
+            self.crc_error = True
+            return
+        if self._far_index >= self.layout.total_frames:
+            self.crc_error = True  # ran off the end of the device
+            return
+        self.memory.write_frame(self._far_index, frame)
+        self._far_index += 1
+        self.frames_committed += 1
+
+    # -- read-back (FDRO) -----------------------------------------------------
+    def read_frames(self, far_index: int, frame_count: int) -> list:
+        """Execute an FDRO read-back: RCFG + FAR + type-1 FDRO read.
+
+        Returns the words the FDRO would stream out.  As in hardware, the
+        first frame of the output is a pipeline pad frame (dummy words) —
+        the caller discards it — followed by ``frame_count`` real frames
+        in auto-increment order.
+        """
+        if frame_count < 1:
+            raise ValueError("must read at least one frame")
+        if not 0 <= far_index < self.layout.total_frames:
+            raise ValueError(f"read-back start frame {far_index} out of range")
+        if far_index + frame_count > self.layout.total_frames:
+            raise ValueError("read-back runs off the end of the device")
+        words = [0] * FRAME_WORDS  # the FDRO pipeline pad frame
+        for index in range(far_index, far_index + frame_count):
+            words.extend(self.memory.read_frame(index))
+        return words
+
+    @staticmethod
+    def strip_readback_pad(words: list) -> list:
+        """Drop the FDRO pad frame from a read-back word stream."""
+        if len(words) < FRAME_WORDS:
+            raise ValueError("read-back stream shorter than the pad frame")
+        return words[FRAME_WORDS:]
+
+    def _command(self, command: int) -> None:
+        if command == int(Command.RCRC):
+            self.crc.reset()
+            self.crc_error = False
+        elif command == int(Command.WCFG):
+            self.wcfg_active = True
+            self._frame_buffer = []
+            self._held_frame = None
+        elif command == int(Command.DGHIGH_LFRM):
+            # End of frame data: the held (pad) frame is discarded.
+            self.wcfg_active = False
+            self._held_frame = None
+            self._frame_buffer = []
+        elif command == int(Command.DESYNC):
+            self.synced = False
+            self.desynced = True
+            self.wcfg_active = False
+            self._held_frame = None
+            self._frame_buffer = []

@@ -1,0 +1,6 @@
+"""Power model and board current-sense measurement."""
+
+from .model import PowerModel, PowerModelParams
+from .sense import CurrentSense
+
+__all__ = ["CurrentSense", "PowerModel", "PowerModelParams"]

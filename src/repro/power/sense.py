@@ -1,0 +1,57 @@
+"""Board current-sense measurement (the ZedBoard pin headers).
+
+The paper measures power by reading the board's current-sense resistor
+with a bench meter.  :class:`CurrentSense` models that observation path:
+it samples the power model at the live operating point (frequency from
+the clock domain, temperature from the thermal model) with the meter's
+finite resolution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .model import PowerModel
+
+__all__ = ["CurrentSense"]
+
+
+class CurrentSense:
+    """A bench-meter view of board power.
+
+    Parameters
+    ----------
+    model:
+        The underlying power model.
+    freq_source / temp_source:
+        Zero-argument callables returning the live PDR clock frequency
+        (MHz) and die temperature (°C).
+    resolution_w:
+        Meter quantisation (10 mW default, as a 4½-digit bench DMM across
+        a sense resistor would give).
+    """
+
+    def __init__(
+        self,
+        model: PowerModel,
+        freq_source: Callable[[], float],
+        temp_source: Callable[[], float],
+        resolution_w: float = 0.01,
+    ):
+        if resolution_w <= 0:
+            raise ValueError("meter resolution must be positive")
+        self.model = model
+        self.freq_source = freq_source
+        self.temp_source = temp_source
+        self.resolution_w = resolution_w
+        self.samples_taken = 0
+
+    def read_board_power_w(self) -> float:
+        """One quantised board-power sample at the live operating point."""
+        self.samples_taken += 1
+        power = self.model.board_power_w(self.freq_source(), self.temp_source())
+        return round(power / self.resolution_w) * self.resolution_w
+
+    def read_pdr_power_w(self) -> float:
+        """Board sample minus the P0 baseline (the paper's P_PDR)."""
+        return self.read_board_power_w() - self.model.params.p0_board_w

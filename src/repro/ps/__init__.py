@@ -1,0 +1,8 @@
+"""Zynq Processing System: global timer, interrupt controller, PCAP."""
+
+from .firmware import ZedboardTestApp
+from .gic import InterruptController
+from .pcap import Pcap
+from .timer import GlobalTimer
+
+__all__ = ["GlobalTimer", "InterruptController", "Pcap", "ZedboardTestApp"]

@@ -1,0 +1,142 @@
+"""Bounded FIFO channels for process-to-process data flow.
+
+:class:`Channel` models a hardware FIFO: ``put`` blocks while the FIFO is
+full, ``get`` blocks while it is empty.  Both return kernel events, so a
+process writes::
+
+    yield fifo.put(word)
+    word = yield fifo.get()
+
+The channel preserves order and conserves items (property-tested in
+``tests/sim/test_channel.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from .errors import SchedulingError
+from .kernel import Event, Simulator
+
+__all__ = ["Channel"]
+
+
+class Channel:
+    """A bounded (or unbounded) FIFO between simulation processes.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    capacity:
+        Maximum number of queued items; ``None`` means unbounded.
+    name:
+        Label used in traces and reprs.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = "channel"):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"channel capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()  # (event, item)
+        #: Statistics: total items ever enqueued / dequeued.
+        self.total_put = 0
+        self.total_got = 0
+        self._peak_level = 0
+
+    # -- inspection ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def level(self) -> int:
+        """Number of items currently queued."""
+        return len(self._items)
+
+    @property
+    def peak_level(self) -> int:
+        """High-water mark of the queue depth."""
+        return self._peak_level
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    # -- operations -----------------------------------------------------------
+    def put(self, item: Any) -> Event:
+        """Enqueue ``item``; returns an event that fires once it is accepted."""
+        event = self.sim.event(name=f"{self.name}.put")
+        if self.is_full:
+            self._putters.append((event, item))
+        else:
+            self._accept(item)
+            event.succeed(item)
+        return event
+
+    def get(self) -> Event:
+        """Dequeue one item; returns an event whose value is the item."""
+        event = self.sim.event(name=f"{self.name}.get")
+        if self._items:
+            event.succeed(self._dequeue())
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put.  Returns False if the channel is full."""
+        if self.is_full:
+            return False
+        self._accept(item)
+        return True
+
+    def try_get(self) -> tuple:
+        """Non-blocking get.  Returns ``(ok, item)``."""
+        if not self._items:
+            return False, None
+        return True, self._dequeue()
+
+    def drain(self) -> List[Any]:
+        """Remove and return every queued item (no waiter interaction)."""
+        if self._getters or self._putters:
+            raise SchedulingError(
+                f"drain() on {self.name!r} with blocked processes attached"
+            )
+        items = list(self._items)
+        self._items.clear()
+        self.total_got += len(items)
+        return items
+
+    # -- internals ----------------------------------------------------------
+    def _accept(self, item: Any) -> None:
+        self.total_put += 1
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            self.total_got += 1
+            self._getters.popleft().succeed(item)
+            return
+        self._items.append(item)
+        if len(self._items) > self._peak_level:
+            self._peak_level = len(self._items)
+
+    def _dequeue(self) -> Any:
+        item = self._items.popleft()
+        self.total_got += 1
+        # Space freed: admit the oldest blocked putter, if any.
+        if self._putters and not self.is_full:
+            event, pending = self._putters.popleft()
+            self._accept(pending)
+            event.succeed(pending)
+        return item
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cap = "inf" if self.capacity is None else str(self.capacity)
+        return f"<Channel {self.name} {len(self._items)}/{cap}>"

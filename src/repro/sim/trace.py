@@ -1,0 +1,77 @@
+"""Lightweight simulation tracing.
+
+Every hardware model can emit trace records through a shared
+:class:`Tracer`.  Records are kept in a bounded ring buffer so long
+simulations do not grow without bound; filters allow tests to assert on the
+sequence of events a component produced.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Iterable, List, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace line: when, who, what."""
+
+    time_ns: float
+    source: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.time_ns / 1e3:12.3f}us] {self.source:<24} {self.message}"
+
+
+class Tracer:
+    """Bounded in-memory trace sink with optional live echo.
+
+    Parameters
+    ----------
+    limit:
+        Maximum number of retained records (oldest dropped first).
+    echo:
+        Optional callable invoked with each record as it arrives (e.g.
+        ``print`` for live debugging).
+    """
+
+    def __init__(self, limit: int = 100_000, echo: Optional[Callable[[TraceRecord], None]] = None):
+        self.records: Deque[TraceRecord] = deque(maxlen=limit)
+        self.echo = echo
+        self.enabled = True
+        self.dropped = 0
+
+    def emit(self, time_ns: float, source: str, message: str) -> None:
+        if not self.enabled:
+            return
+        if len(self.records) == self.records.maxlen:
+            self.dropped += 1
+        record = TraceRecord(time_ns, source, message)
+        self.records.append(record)
+        if self.echo is not None:
+            self.echo(record)
+
+    def filter(self, source: Optional[str] = None, contains: Optional[str] = None) -> List[TraceRecord]:
+        """Return retained records matching the given source/substring."""
+        out = []
+        for record in self.records:
+            if source is not None and record.source != source:
+                continue
+            if contains is not None and contains not in record.message:
+                continue
+            out.append(record)
+        return out
+
+    def sources(self) -> Iterable[str]:
+        return sorted({record.source for record in self.records})
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.records)

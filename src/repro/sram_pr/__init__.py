@@ -1,0 +1,22 @@
+"""The §VI proposed SRAM-based partial-reconfiguration environment."""
+
+from .decompressor import BitstreamDecompressor
+from .memctrl import SramMemoryController, SramSlot
+from .pr_controller import ActivationResult, PrController
+from .scheduler import PendingBitstream, PsScheduler
+from .sram import QdrSram
+from .system import THEORETICAL_THROUGHPUT_MB_S, SramPrResult, SramPrSystem
+
+__all__ = [
+    "ActivationResult",
+    "BitstreamDecompressor",
+    "PendingBitstream",
+    "PrController",
+    "PsScheduler",
+    "QdrSram",
+    "SramMemoryController",
+    "SramPrResult",
+    "SramPrSystem",
+    "SramSlot",
+    "THEORETICAL_THROUGHPUT_MB_S",
+]

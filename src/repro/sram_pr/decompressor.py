@@ -1,0 +1,55 @@
+"""Hardware bitstream decompressor (§VI "Bitstream Decompression").
+
+Decodes the run-length format of :mod:`repro.bitstream.compress` at line
+rate: the control-word parse and run expansion are single-cycle
+operations in hardware, so the decompressor's *output* side can always
+keep up with the ICAP, and the *input* side consumes SRAM bandwidth only
+for the compressed words.  Compression therefore multiplies the
+effective reconfiguration bandwidth by the compression ratio — until the
+ICAP's own clock becomes the bottleneck.
+
+The model exposes the streaming arithmetic (how many input words a given
+number of output words requires) plus the full functional decode, so the
+PR controller both *times* and *performs* the decompression.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..bitstream.compress import CompressedFormatError, decompress_words
+
+__all__ = ["BitstreamDecompressor"]
+
+
+class BitstreamDecompressor:
+    """Line-rate run-length decoder."""
+
+    def __init__(self) -> None:
+        self.words_in = 0
+        self.words_out = 0
+        self.streams_decoded = 0
+
+    def decode(self, compressed: List[int]) -> List[int]:
+        """Functionally decompress (raises on malformed input)."""
+        output = decompress_words(compressed)
+        self.words_in += len(compressed)
+        self.words_out += len(output)
+        self.streams_decoded += 1
+        return output
+
+    @staticmethod
+    def validate(compressed: List[int]) -> bool:
+        """True if the stream decodes cleanly (integrity CRC included)."""
+        try:
+            decompress_words(compressed)
+        except CompressedFormatError:
+            return False
+        return True
+
+    @property
+    def lifetime_ratio(self) -> float:
+        """Aggregate expansion ratio over everything decoded so far."""
+        if self.words_in == 0:
+            return 1.0
+        return self.words_out / self.words_in

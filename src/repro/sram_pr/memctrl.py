@@ -1,0 +1,135 @@
+"""SRAM memory controller (§VI "Memory Controller").
+
+Owns the address map of the staging SRAM: one bitstream slot at a time
+(the paper: "The SRAM memory can store one partial bitstream a time"),
+generates write addresses for the PS-side fill and read addresses for the
+PR-side drain, and tracks slot validity so the arbiter never streams a
+half-written image into the ICAP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..sim import Simulator
+
+from .sram import QdrSram
+
+__all__ = ["SramSlot", "SramMemoryController"]
+
+
+@dataclass
+class SramSlot:
+    """Metadata of the staged bitstream."""
+
+    name: str
+    word_count: int
+    compressed: bool
+    region: str
+    region_crc: int
+
+
+class SramMemoryController:
+    """Write/read address generation + slot bookkeeping."""
+
+    #: Fill burst size (words) per write-port transaction.
+    FILL_BURST_WORDS = 2048
+
+    def __init__(self, sim: Simulator, sram: Optional[QdrSram] = None):
+        self.sim = sim
+        self.sram = sram or QdrSram(sim)
+        self._slot: Optional[SramSlot] = None
+        self._valid = False
+        self._fill_cursor = 0
+        self.fills_completed = 0
+
+    # -- status ------------------------------------------------------------
+    @property
+    def slot(self) -> Optional[SramSlot]:
+        return self._slot
+
+    @property
+    def slot_valid(self) -> bool:
+        return self._valid and self._slot is not None
+
+    def invalidate(self) -> None:
+        self._valid = False
+
+    # -- PS-side fill, streaming interface ------------------------------------
+    def begin_fill(self, slot: SramSlot) -> None:
+        """Open the slot for a streaming fill (marks it invalid)."""
+        if slot.word_count > self.sram.capacity_words:
+            raise ValueError(
+                f"bitstream of {slot.word_count} words exceeds SRAM capacity "
+                f"({self.sram.capacity_words} words) — compress it first"
+            )
+        self._slot = slot
+        self._valid = False
+        self._fill_cursor = 0
+
+    def write_chunk(self, words: List[int]):
+        """Write the next chunk through the write port (returns the event).
+
+        Chunks may be issued back to back without awaiting each one — the
+        SRAM write port serialises them internally — which lets the PS
+        scheduler pipeline DRAM reads against SRAM writes.
+        """
+        if self._slot is None:
+            raise RuntimeError("write_chunk() before begin_fill()")
+        event = self.sram.write_burst(self._fill_cursor, words)
+        self._fill_cursor += len(words)
+        return event
+
+    def finish_fill(self) -> SramSlot:
+        """Validate the slot once every chunk has been written."""
+        if self._slot is None:
+            raise RuntimeError("finish_fill() before begin_fill()")
+        if self._fill_cursor != self._slot.word_count:
+            raise RuntimeError(
+                f"fill incomplete: {self._fill_cursor}/{self._slot.word_count} words"
+            )
+        self._valid = True
+        self.fills_completed += 1
+        return self._slot
+
+    # -- PS-side fill, one-shot convenience --------------------------------------
+    def fill(self, slot: SramSlot, words: List[int]):
+        """Write a bitstream image into the slot (process generator).
+
+        Marks the slot invalid during the fill so a concurrent activation
+        cannot race with a half-written image.
+        """
+        if len(words) != slot.word_count:
+            raise ValueError(
+                f"slot says {slot.word_count} words, got {len(words)}"
+            )
+        self.begin_fill(slot)
+        last_event = None
+        cursor = 0
+        while cursor < len(words):
+            chunk = words[cursor : cursor + self.FILL_BURST_WORDS]
+            last_event = self.write_chunk(chunk)
+            cursor += len(chunk)
+        if last_event is not None:
+            yield last_event
+        return self.finish_fill()
+
+    # -- PR-side drain ------------------------------------------------------------
+    def read_slot(self, burst_words: int = 2048):
+        """Stream the staged image out of the read port (process generator).
+
+        Returns the full word list; timing is charged per read burst at
+        the SRAM's port bandwidth.
+        """
+        if not self.slot_valid:
+            raise RuntimeError("no valid bitstream staged in the SRAM slot")
+        slot = self._slot
+        words: List[int] = []
+        cursor = 0
+        while cursor < slot.word_count:
+            chunk = min(burst_words, slot.word_count - cursor)
+            data = yield self.sram.read_burst(cursor, chunk)
+            words.extend(data)
+            cursor += chunk
+        return words

@@ -1,0 +1,112 @@
+"""PS Scheduler (§VI).
+
+"The PS Scheduler ... manages all the partial bitstreams that are needed
+by the whole architecture, and it pre-loads the next on the SRAM, whilst,
+for example, the current partially configurable hardware accelerator is
+performing its task."
+
+The scheduler keeps a queue of pending reconfigurations.  ``preload``
+moves the next image DRAM → SRAM through the write port (bottlenecked by
+the DRAM path, ~816 MB/s effective); because the SRAM ports are
+independent, a preload can fully overlap with fabric computation or even
+with the previous activation's drain — that overlap is the latency-hiding
+the proposal is about (ablation A5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from ..axi.ports import AxiHpPort
+from ..sim import Simulator
+
+from .memctrl import SramMemoryController, SramSlot
+
+__all__ = ["PendingBitstream", "PsScheduler"]
+
+
+@dataclass
+class PendingBitstream:
+    """One queued reconfiguration image, already resident in DRAM."""
+
+    name: str
+    region: str
+    dram_addr: int
+    word_count: int
+    compressed: bool
+    region_crc: int
+
+
+class PsScheduler:
+    """DRAM→SRAM staging queue."""
+
+    #: DRAM read burst used while staging (bytes).
+    STAGE_BURST_BYTES = 4096
+
+    def __init__(
+        self,
+        sim: Simulator,
+        memctrl: SramMemoryController,
+        dram_port: AxiHpPort,
+        name: str = "ps_sched",
+    ):
+        self.sim = sim
+        self.memctrl = memctrl
+        self.dram_port = dram_port
+        self.name = name
+        self._queue: Deque[PendingBitstream] = deque()
+        self.preloads_completed = 0
+
+    # -- queue ------------------------------------------------------------
+    def enqueue(self, pending: PendingBitstream) -> None:
+        self._queue.append(pending)
+
+    def pending(self) -> List[str]:
+        return [p.name for p in self._queue]
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    # -- staging ------------------------------------------------------------
+    def preload_next(self):
+        """Stage the head-of-queue image into the SRAM (process generator).
+
+        Reads the image out of DRAM in bursts and writes it through the
+        SRAM write port; both stages are pipelined (the slower DRAM path
+        dominates).  Returns the staged :class:`SramSlot`.
+        """
+        if not self._queue:
+            raise RuntimeError("preload_next() with an empty queue")
+        pending = self._queue.popleft()
+        slot = SramSlot(
+            name=pending.name,
+            word_count=pending.word_count,
+            compressed=pending.compressed,
+            region=pending.region,
+            region_crc=pending.region_crc,
+        )
+        self.memctrl.begin_fill(slot)
+        cursor = pending.dram_addr
+        remaining = pending.word_count * 4
+        last_write = None
+        while remaining:
+            chunk = min(self.STAGE_BURST_BYTES, remaining)
+            data = yield self.dram_port.read(cursor, chunk)
+            words = [
+                int.from_bytes(data[i : i + 4], "big")
+                for i in range(0, len(data), 4)
+            ]
+            # Fire the SRAM write without awaiting it: the write port is
+            # ~1.5x faster than the DRAM path and serialises internally,
+            # so the next DRAM read overlaps this write (pipelining).
+            last_write = self.memctrl.write_chunk(words)
+            cursor += chunk
+            remaining -= chunk
+        if last_write is not None:
+            yield last_write
+        self.memctrl.finish_fill()
+        self.preloads_completed += 1
+        return slot

@@ -1,0 +1,100 @@
+"""QDR-II+ SRAM model (Cypress CY7C2263KV18).
+
+The §VI proposed environment stages one partial bitstream in an external
+SRAM with independent DDR read and write ports, so reconfiguration can
+stream at full SRAM bandwidth while the PS refills the *other* ports in
+the background.
+
+The paper sizes the device at 550 MHz with a 36-bit data bus and derives
+
+    throughput = 550 MHz · 36 bit / 2 = 1237.5 MB/s
+
+(36 data bits carry 32 payload bits + 4 parity; the /2 in the paper's
+formula folds the parity overhead and command duty into an effective
+payload rate).  We model each port as a server with that effective
+payload bandwidth and the datasheet's 0.45 ns access time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sim import Event, Simulator
+
+__all__ = ["QdrSram"]
+
+
+class QdrSram:
+    """Dual-independent-port SRAM with a word-addressed backing store."""
+
+    #: Effective payload bandwidth per port, bytes/ns (= 1237.5 MB/s).
+    PORT_BANDWIDTH = 1.2375
+    #: First-word access time from the datasheet.
+    ACCESS_NS = 0.45
+    #: Capacity: 18 Mbit organised x36 -> 16 Mbit payload = 2 MiB.
+    CAPACITY_BYTES = 2 * 1024 * 1024
+
+    def __init__(self, sim: Simulator, name: str = "qdr_sram"):
+        self.sim = sim
+        self.name = name
+        self._words: Dict[int, int] = {}
+        self._read_busy_until = 0.0
+        self._write_busy_until = 0.0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- capacity ------------------------------------------------------------
+    @property
+    def capacity_words(self) -> int:
+        return self.CAPACITY_BYTES // 4
+
+    def _check_range(self, word_addr: int, word_count: int) -> None:
+        if word_addr < 0 or word_count < 0:
+            raise ValueError("negative SRAM address or length")
+        if (word_addr + word_count) * 4 > self.CAPACITY_BYTES:
+            raise ValueError(
+                f"SRAM access [{word_addr}, +{word_count}) words exceeds "
+                f"{self.CAPACITY_BYTES}-byte capacity"
+            )
+
+    # -- write port (PS scheduler side) ---------------------------------------
+    def write_burst(self, word_addr: int, words) -> Event:
+        """Timed write through the dedicated write port."""
+        words = list(words)
+        self._check_range(word_addr, len(words))
+        done = self.sim.event(name=f"{self.name}.write")
+
+        def transfer():
+            start = max(self.sim.now, self._write_busy_until)
+            duration = self.ACCESS_NS + len(words) * 4 / self.PORT_BANDWIDTH
+            self._write_busy_until = start + duration
+            yield self.sim.timeout(self._write_busy_until - self.sim.now)
+            for offset, word in enumerate(words):
+                self._words[word_addr + offset] = word & 0xFFFFFFFF
+            self.bytes_written += len(words) * 4
+            done.succeed(len(words))
+
+        self.sim.process(transfer(), name=f"{self.name}.write@{word_addr}")
+        return done
+
+    # -- read port (PR controller side) ------------------------------------------
+    def read_burst(self, word_addr: int, word_count: int) -> Event:
+        """Timed read through the dedicated read port; value is the words."""
+        self._check_range(word_addr, word_count)
+        done = self.sim.event(name=f"{self.name}.read")
+
+        def transfer():
+            start = max(self.sim.now, self._read_busy_until)
+            duration = self.ACCESS_NS + word_count * 4 / self.PORT_BANDWIDTH
+            self._read_busy_until = start + duration
+            yield self.sim.timeout(self._read_busy_until - self.sim.now)
+            words = [self._words.get(word_addr + i, 0) for i in range(word_count)]
+            self.bytes_read += word_count * 4
+            done.succeed(words)
+
+        self.sim.process(transfer(), name=f"{self.name}.read@{word_addr}")
+        return done
+
+    def peek(self, word_addr: int) -> int:
+        """Untimed debug read."""
+        return self._words.get(word_addr, 0)

@@ -1,0 +1,7 @@
+"""Die thermal model, heat-gun actuator and XADC temperature sensor."""
+
+from .heatgun import HeatGun
+from .model import ThermalModel
+from .sensor import TemperatureSensor
+
+__all__ = ["HeatGun", "TemperatureSensor", "ThermalModel"]

@@ -1,0 +1,53 @@
+"""The paper's heat gun (§IV-A temperature stress).
+
+The authors point a heat gun at the Zynq's heat sink to sweep the die
+from 40 °C to 100 °C.  :class:`HeatGun` drives the thermal model's
+external forcing; :meth:`hold_die_at` solves for the forcing needed to
+reach a setpoint given current self-heating and pins it, replicating the
+bench procedure of waiting for each 10 °C step to stabilise.
+"""
+
+from __future__ import annotations
+
+from .model import ThermalModel
+
+__all__ = ["HeatGun"]
+
+
+class HeatGun:
+    """External heating actuator aimed at the die's heat sink."""
+
+    #: Physical ceiling: the gun can add at most this much above ambient.
+    MAX_FORCING_C = 400.0
+
+    def __init__(self, thermal: ThermalModel):
+        self.thermal = thermal
+        self.on = False
+
+    def set_forcing(self, delta_c: float) -> None:
+        if not 0 <= delta_c <= self.MAX_FORCING_C:
+            raise ValueError(f"forcing {delta_c} °C out of range")
+        self.on = delta_c > 0
+        self.thermal.set_forcing(delta_c)
+
+    def off(self) -> None:
+        self.set_forcing(0.0)
+
+    def hold_die_at(self, setpoint_c: float) -> None:
+        """Pin the die at ``setpoint_c`` (bench-stabilised measurement).
+
+        Raises if the setpoint is below what self-heating alone produces —
+        a heat gun cannot cool the part.
+        """
+        self.thermal.set_forcing(0.0)
+        floor = self.thermal.steady_state_c()
+        if setpoint_c < floor - 1e-9:
+            raise ValueError(
+                f"cannot hold {setpoint_c} °C: self-heating floor is "
+                f"{floor:.1f} °C (a heat gun cannot cool)"
+            )
+        delta = setpoint_c - floor
+        if delta > self.MAX_FORCING_C:
+            raise ValueError(f"setpoint {setpoint_c} °C beyond gun capability")
+        self.set_forcing(delta)
+        self.thermal.pin_temperature(setpoint_c)

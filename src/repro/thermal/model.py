@@ -1,0 +1,96 @@
+"""Lumped-RC die thermal model.
+
+The die temperature follows a first-order RC response toward a target set
+by ambient, self-heating (power × thermal resistance) and any external
+forcing (the paper's heat gun):
+
+    T_target = T_ambient + R_th · P + ΔT_forcing
+    dT/dt    = (T_target − T) / τ
+
+Experiments usually pin the temperature to a setpoint (as the paper does,
+holding the die at 40…100 °C in 10 °C steps), but the dynamic model is
+exercised by the heat-gun example and the thermal tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from ..sim import Simulator
+
+__all__ = ["ThermalModel"]
+
+
+class ThermalModel:
+    """First-order thermal state of the Zynq die."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ambient_c: float = 25.0,
+        r_th_c_per_w: float = 8.0,
+        tau_s: float = 12.0,
+        power_source: Optional[Callable[[], float]] = None,
+    ):
+        if tau_s <= 0:
+            raise ValueError("thermal time constant must be positive")
+        self.sim = sim
+        self.ambient_c = ambient_c
+        self.r_th_c_per_w = r_th_c_per_w
+        self.tau_s = tau_s
+        #: Live power draw in watts (for self-heating); defaults to zero.
+        self.power_source = power_source or (lambda: 0.0)
+        #: External forcing in °C above ambient (heat gun contribution).
+        self.forcing_c = 0.0
+        self._pinned: Optional[float] = None
+        self._temp_c = self._target()
+        self._last_update_ns = sim.now
+
+    # -- control ------------------------------------------------------------
+    def pin_temperature(self, temp_c: float) -> None:
+        """Clamp the die to an exact temperature (bench-controlled tests)."""
+        self._pinned = temp_c
+        self._temp_c = temp_c
+        self._last_update_ns = self.sim.now
+
+    def unpin(self) -> None:
+        self._advance()
+        self._pinned = None
+
+    def set_forcing(self, delta_c: float) -> None:
+        """External heating in °C above ambient (heat gun)."""
+        self._advance()
+        self.forcing_c = delta_c
+
+    # -- state ----------------------------------------------------------------
+    @property
+    def temperature_c(self) -> float:
+        """Current die temperature (advances the RC state lazily)."""
+        self._advance()
+        return self._temp_c
+
+    def steady_state_c(self) -> float:
+        """Temperature the die would settle at under current conditions."""
+        return self._target()
+
+    # -- internals ----------------------------------------------------------
+    def _target(self) -> float:
+        return (
+            self.ambient_c
+            + self.r_th_c_per_w * self.power_source()
+            + self.forcing_c
+        )
+
+    def _advance(self) -> None:
+        now = self.sim.now
+        dt_s = (now - self._last_update_ns) / 1e9
+        self._last_update_ns = now
+        if self._pinned is not None:
+            self._temp_c = self._pinned
+            return
+        if dt_s <= 0:
+            return
+        target = self._target()
+        decay = math.exp(-dt_s / self.tau_s)
+        self._temp_c = target + (self._temp_c - target) * decay

@@ -1,0 +1,36 @@
+"""On-die temperature sensor (XADC-style).
+
+The Zynq's XADC reports die temperature through a 12-bit conversion with
+a fixed transfer function; the paper reads it out to the OLED display.
+The model quantises the thermal model's state exactly as the 12-bit ADC
+would, so displayed temperatures move in ~0.123 °C steps.
+"""
+
+from __future__ import annotations
+
+from .model import ThermalModel
+
+__all__ = ["TemperatureSensor"]
+
+
+class TemperatureSensor:
+    """12-bit XADC temperature channel."""
+
+    #: XADC transfer function: T = code * 503.975 / 4096 - 273.15.
+    _SCALE = 503.975 / 4096.0
+    _OFFSET = -273.15
+
+    def __init__(self, thermal: ThermalModel):
+        self.thermal = thermal
+        self.samples_taken = 0
+
+    def read_code(self) -> int:
+        """Raw 12-bit conversion code."""
+        self.samples_taken += 1
+        temp = self.thermal.temperature_c
+        code = round((temp - self._OFFSET) / self._SCALE)
+        return max(0, min(code, 4095))
+
+    def read_celsius(self) -> float:
+        """Temperature as software computes it from the code."""
+        return self.read_code() * self._SCALE + self._OFFSET

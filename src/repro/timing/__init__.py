@@ -1,0 +1,22 @@
+"""Over-clocking timing model and fault injection."""
+
+from .failures import corruption_rate, make_word_corruptor
+from .model import (
+    PDR_CONTROL_PATH,
+    PDR_DATA_PATH,
+    CriticalPath,
+    FailureMode,
+    TimingModel,
+    default_timing_model,
+)
+
+__all__ = [
+    "CriticalPath",
+    "FailureMode",
+    "PDR_CONTROL_PATH",
+    "PDR_DATA_PATH",
+    "TimingModel",
+    "corruption_rate",
+    "default_timing_model",
+    "make_word_corruptor",
+]

@@ -1,0 +1,128 @@
+"""Static-timing / over-clocking failure model.
+
+The paper over-clocks standard IP far beyond its specification and
+observes three regimes (Table I + §IV-A):
+
+* up to 280 MHz — everything works, at any die temperature 40–100 °C;
+* at 310 MHz — the transfer data still lands correctly (read-back CRC
+  "valid") but the completion interrupt never arrives; at 100 °C even the
+  data path fails;
+* at 320 MHz and above — the bitstream is corrupted (CRC "not valid").
+
+We model this with two lumped critical paths, each with an fmax at 40 °C
+and a linear thermal derating (silicon slows as it heats):
+
+* ``pdr_control`` — the DMA/ICAP completion/interrupt logic,
+  fmax(40 °C) = 305 MHz.  Violation ⇒ the completion interrupt sticks.
+* ``pdr_data`` — the stream datapath, fmax(40 °C) = 315 MHz.
+  Violation ⇒ configuration words are corrupted in flight.
+
+fmax(T) = fmax(40) · (1 − α·(T − 40)) with α = 3.0·10⁻⁴/°C gives exactly
+the paper's frontier (fmax_data(90 °C) = 310.3 MHz, fmax_data(100 °C) =
+309.3 MHz): 310 MHz data-path OK at ≤90 °C, failing at 100 °C;
+control path failing at 310 MHz at every temperature; ≥320 MHz failing
+outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["CriticalPath", "TimingModel", "FailureMode", "default_timing_model"]
+
+
+class FailureMode:
+    """What breaks when a path's timing is violated."""
+
+    CONTROL_HANG = "control-hang"    #: interrupts/handshakes stop arriving
+    DATA_CORRUPT = "data-corrupt"    #: data words latch wrong values
+    FREEZE = "freeze"                #: the whole fabric wedges (VF-2012 >300 MHz)
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """One lumped flop-to-flop path."""
+
+    name: str
+    fmax_mhz_at_40c: float
+    failure_mode: str
+    #: Fractional fmax loss per °C above 40 °C.
+    thermal_derate_per_c: float = 3.0e-4
+
+    def fmax_mhz(self, temp_c: float) -> float:
+        """Temperature-derated maximum frequency."""
+        derate = 1.0 - self.thermal_derate_per_c * (temp_c - 40.0)
+        return self.fmax_mhz_at_40c * max(derate, 0.0)
+
+    def ok(self, freq_mhz: float, temp_c: float) -> bool:
+        return freq_mhz <= self.fmax_mhz(temp_c)
+
+    def slack_ns(self, freq_mhz: float, temp_c: float) -> float:
+        """Positive slack = margin; negative = violation (per cycle, ns)."""
+        if freq_mhz <= 0:
+            raise ValueError("frequency must be positive")
+        period = 1e3 / freq_mhz
+        delay = 1e3 / self.fmax_mhz(temp_c)
+        return period - delay
+
+
+class TimingModel:
+    """A set of named critical paths queried by the PDR system."""
+
+    def __init__(self, paths: Optional[List[CriticalPath]] = None):
+        self._paths: Dict[str, CriticalPath] = {}
+        for path in paths or []:
+            self.add_path(path)
+
+    def add_path(self, path: CriticalPath) -> None:
+        if path.name in self._paths:
+            raise ValueError(f"path {path.name!r} already registered")
+        self._paths[path.name] = path
+
+    def path(self, name: str) -> CriticalPath:
+        if name not in self._paths:
+            raise KeyError(f"unknown timing path {name!r}; have {sorted(self._paths)}")
+        return self._paths[name]
+
+    def path_names(self) -> List[str]:
+        return sorted(self._paths)
+
+    def ok(self, name: str, freq_mhz: float, temp_c: float) -> bool:
+        return self.path(name).ok(freq_mhz, temp_c)
+
+    def failures(self, freq_mhz: float, temp_c: float) -> List[CriticalPath]:
+        """All paths violated at this operating point, worst slack first."""
+        violated = [
+            p for p in self._paths.values() if not p.ok(freq_mhz, temp_c)
+        ]
+        return sorted(violated, key=lambda p: p.slack_ns(freq_mhz, temp_c))
+
+    def max_safe_frequency(self, temp_c: float) -> float:
+        """fmax of the weakest path at ``temp_c``."""
+        if not self._paths:
+            raise ValueError("timing model has no paths")
+        return min(p.fmax_mhz(temp_c) for p in self._paths.values())
+
+
+#: Paths of the paper's over-clocked PDR design.
+PDR_CONTROL_PATH = "pdr_control"
+PDR_DATA_PATH = "pdr_data"
+
+
+def default_timing_model() -> TimingModel:
+    """The calibrated two-path model described in the module docstring."""
+    return TimingModel(
+        [
+            CriticalPath(
+                name=PDR_CONTROL_PATH,
+                fmax_mhz_at_40c=305.0,
+                failure_mode=FailureMode.CONTROL_HANG,
+            ),
+            CriticalPath(
+                name=PDR_DATA_PATH,
+                fmax_mhz_at_40c=315.0,
+                failure_mode=FailureMode.DATA_CORRUPT,
+            ),
+        ]
+    )

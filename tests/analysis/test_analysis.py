@@ -1,0 +1,110 @@
+"""Tests for series utilities, knee detection and ASCII plotting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import Series, knee_frequency, linear_fit, render_plot
+
+
+# ------------------------------------------------------------------- series --
+def test_series_append_and_points():
+    series = Series("s")
+    series.append(1, 10, "a")
+    series.append(2, 20)
+    assert len(series) == 2
+    assert series.points() == [(1.0, 10.0), (2.0, 20.0)]
+
+
+def test_series_csv():
+    series = Series("s")
+    series.append(100, 399.06)
+    csv = series.to_csv("freq", "mbps")
+    assert csv.splitlines() == ["freq,mbps", "100,399.06"]
+
+
+# --------------------------------------------------------------- linear fit --
+def test_linear_fit_exact_line():
+    slope, intercept = linear_fit([0, 1, 2, 3], [5, 7, 9, 11])
+    assert slope == pytest.approx(2.0)
+    assert intercept == pytest.approx(5.0)
+
+
+def test_linear_fit_validation():
+    with pytest.raises(ValueError):
+        linear_fit([1], [2])
+    with pytest.raises(ValueError):
+        linear_fit([1, 1], [2, 3])
+    with pytest.raises(ValueError):
+        linear_fit([1, 2], [3])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    slope=st.floats(min_value=-100, max_value=100),
+    intercept=st.floats(min_value=-100, max_value=100),
+)
+def test_property_fit_recovers_exact_line(slope, intercept):
+    x = [0.0, 1.0, 2.0, 5.0, 9.0]
+    y = [slope * xi + intercept for xi in x]
+    fit_slope, fit_intercept = linear_fit(x, y)
+    assert fit_slope == pytest.approx(slope, abs=1e-6)
+    assert fit_intercept == pytest.approx(intercept, abs=1e-6)
+
+
+# ---------------------------------------------------------- knee detection --
+def test_knee_found_on_table1_shape():
+    """The paper's own Fig. 5 data must yield a ~200 MHz knee."""
+    x = [100, 140, 180, 200, 240, 280]
+    y = [399.06, 558.12, 716.96, 781.84, 786.96, 790.14]
+    knee = knee_frequency(x, y)
+    assert knee == pytest.approx(200.0)
+
+
+def test_no_knee_on_straight_line():
+    x = list(range(100, 320, 20))
+    y = [4 * xi for xi in x]
+    assert knee_frequency(x, y) is None
+
+
+def test_knee_too_few_points():
+    assert knee_frequency([1, 2, 3], [1, 2, 3]) is None
+
+
+def test_knee_length_mismatch():
+    with pytest.raises(ValueError):
+        knee_frequency([1, 2], [1])
+
+
+# --------------------------------------------------------------- ascii plot --
+def test_render_plot_contains_series_and_axes():
+    series = Series("demo")
+    for x in range(10):
+        series.append(x, x * x)
+    text = render_plot([series], title="squares", x_label="x")
+    assert "squares" in text
+    assert "o demo" in text
+    assert "0" in text and "9" in text
+
+
+def test_render_plot_empty():
+    assert "(no data)" in render_plot([Series("empty")], title="nothing")
+
+
+def test_render_plot_multiple_series_distinct_markers():
+    a = Series("a")
+    b = Series("b")
+    for x in range(5):
+        a.append(x, x)
+        b.append(x, 2 * x + 1)
+    text = render_plot([a, b])
+    assert "o a" in text
+    assert "x b" in text
+
+
+def test_render_plot_flat_series():
+    flat = Series("flat")
+    for x in range(5):
+        flat.append(x, 7.0)
+    text = render_plot([flat])
+    assert "o" in text  # does not divide by zero

@@ -1,0 +1,60 @@
+"""Tests for the result statistics helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    Summary,
+    group_results_by_frequency,
+    summarize,
+    summarize_results,
+)
+from repro.core import PdrSystem
+from repro.fabric import FirFilterAsp
+
+
+def test_summarize_basic():
+    summary = summarize([1.0, 2.0, 3.0, 4.0])
+    assert summary.count == 4
+    assert summary.mean == pytest.approx(2.5)
+    assert summary.minimum == 1.0
+    assert summary.maximum == 4.0
+    assert "n=4" in str(summary)
+
+
+def test_summarize_single_value():
+    summary = summarize([7.0])
+    assert summary.stdev == 0.0
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])
+    with pytest.raises(ValueError):
+        summarize_results([])
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+def test_property_summary_bounds(values):
+    summary = summarize(values)
+    assert summary.minimum <= summary.mean <= summary.maximum
+    assert summary.stdev >= 0
+
+
+def test_summarize_reconfig_results():
+    system = PdrSystem()
+    for freq in (100.0, 200.0, 280.0, 320.0):
+        system.reconfigure("RP1", FirFilterAsp([1]), freq)
+    stats = summarize_results(system.results)
+    assert stats["total"] == 4
+    assert stats["success_rate"] == pytest.approx(0.75)
+    assert stats["crc_valid_rate"] == pytest.approx(0.75)
+    assert isinstance(stats["latency_us"], Summary)
+    assert stats["latency_us"].count == 3
+    assert stats["throughput_mb_s"].maximum == pytest.approx(790.4, rel=0.01)
+
+    grouped = group_results_by_frequency(system.results)
+    assert list(grouped) == [100.0, 200.0, 280.0, 320.0]
+    assert len(grouped[100.0]) == 1

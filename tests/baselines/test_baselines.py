@@ -1,0 +1,119 @@
+"""Tests for the related-work controller models (paper §V / Table III)."""
+
+import pytest
+
+from repro.baselines import (
+    Hkt2011Controller,
+    Hp2011Controller,
+    PcapBaselineController,
+    ThisWorkController,
+    TransferOutcome,
+    Vf2012Controller,
+)
+from repro.core import TABLE1_BITSTREAM_BYTES
+
+
+# ------------------------------------------------------------------ VF-2012 --
+def test_vf2012_published_operating_points():
+    vf = Vf2012Controller()
+    nominal = vf.transfer(TABLE1_BITSTREAM_BYTES, 100.0)
+    assert nominal.throughput_mb_s == pytest.approx(399.0, rel=0.01)
+    best = vf.transfer(TABLE1_BITSTREAM_BYTES, 210.0)
+    assert best.throughput_mb_s == pytest.approx(838.55, rel=0.01)
+
+
+def test_vf2012_failure_regimes():
+    vf = Vf2012Controller()
+    assert vf.transfer(1024, 250.0).outcome == TransferOutcome.FAILED
+    frozen = vf.transfer(1024, 320.0)
+    assert frozen.outcome == TransferOutcome.FROZE
+    assert not frozen.ok
+    assert vf.max_working_mhz() == 210.0
+    assert not vf.has_crc_check
+
+
+def test_vf2012_input_validation():
+    with pytest.raises(ValueError):
+        Vf2012Controller().transfer(0, 100.0)
+
+
+# ------------------------------------------------------------------ HP-2011 --
+def test_hp2011_published_operating_point():
+    hp = Hp2011Controller()
+    result = hp.transfer(TABLE1_BITSTREAM_BYTES, 133.0)
+    assert result.throughput_mb_s == pytest.approx(419.0, rel=0.02)
+    assert result.outcome == TransferOutcome.OK
+
+
+def test_hp2011_active_feedback_clamps():
+    hp = Hp2011Controller()
+    result = hp.transfer(TABLE1_BITSTREAM_BYTES, 300.0)
+    assert result.outcome == TransferOutcome.CLAMPED
+    assert result.effective_mhz == 133.0
+    assert result.ok  # clamped transfers still succeed
+    assert "feedback" in result.notes[0]
+
+
+# ----------------------------------------------------------------- HKT-2011 --
+def test_hkt2011_burst_rate_for_fifo_resident():
+    hkt = Hkt2011Controller()
+    result = hkt.transfer(50 * 1024, 550.0)
+    assert result.throughput_mb_s == pytest.approx(2200.0, rel=0.02)
+
+
+def test_hkt2011_large_bitstreams_degrade():
+    """The paper doubts 2200 MB/s holds for ~1.4 MB bitstreams; the model
+    makes the degradation explicit."""
+    hkt = Hkt2011Controller()
+    small = hkt.transfer(50 * 1024, 550.0)
+    large = hkt.transfer(1_400_000, 550.0)
+    assert large.throughput_mb_s < small.throughput_mb_s / 2
+    assert "FIFO" in large.notes[0]
+
+
+def test_hkt2011_clock_ceiling():
+    hkt = Hkt2011Controller()
+    result = hkt.transfer(1024, 700.0)
+    assert result.effective_mhz == 550.0
+
+
+# --------------------------------------------------------------------- PCAP --
+def test_pcap_baseline_rate():
+    pcap = PcapBaselineController()
+    result = pcap.transfer(TABLE1_BITSTREAM_BYTES, 100.0)
+    assert result.throughput_mb_s == pytest.approx(145.0, rel=0.05)
+    # Clock requests are ignored (PS-fixed).
+    faster = pcap.transfer(TABLE1_BITSTREAM_BYTES, 300.0)
+    assert faster.throughput_mb_s == pytest.approx(
+        result.throughput_mb_s, rel=0.01
+    )
+
+
+# ---------------------------------------------------------------- this work --
+@pytest.fixture(scope="module")
+def this_work():
+    return ThisWorkController()
+
+
+def test_this_work_table3_point(this_work):
+    result = this_work.transfer(TABLE1_BITSTREAM_BYTES, 280.0)
+    assert result.ok
+    assert result.throughput_mb_s == pytest.approx(790.0, rel=0.01)
+    assert this_work.has_crc_check
+
+
+def test_this_work_detects_its_failures(this_work):
+    no_irq = this_work.transfer(TABLE1_BITSTREAM_BYTES, 310.0)
+    assert no_irq.outcome == TransferOutcome.FAILED
+    assert "interrupt" in no_irq.notes[0]
+    corrupted = this_work.transfer(TABLE1_BITSTREAM_BYTES, 320.0)
+    assert corrupted.outcome == TransferOutcome.FAILED
+    assert "CRC" in corrupted.notes[0]
+
+
+def test_only_this_work_flags_corruption():
+    """The §V argument: our system performs a CRC; VF-2012 does not."""
+    assert ThisWorkController.has_crc_check
+    assert not Vf2012Controller.has_crc_check
+    assert not Hp2011Controller.has_crc_check
+    assert not Hkt2011Controller.has_crc_check

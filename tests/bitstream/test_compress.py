@@ -1,0 +1,112 @@
+"""Tests for the run-length bitstream compressor."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitstream import (
+    CompressedFormatError,
+    compress_words,
+    compression_ratio,
+    decompress_words,
+)
+
+
+def test_empty_roundtrip():
+    assert decompress_words(compress_words([])) == []
+
+
+def test_all_zero_compresses_well():
+    words = [0] * 10_000
+    compressed = compress_words(words)
+    assert len(compressed) < 10
+    assert decompress_words(compressed) == words
+
+
+def test_repeat_run_compresses():
+    words = [0xABCD1234] * 500
+    compressed = compress_words(words)
+    assert len(compressed) < 10
+    assert decompress_words(compressed) == words
+
+
+def test_literals_roundtrip():
+    words = list(range(1, 100))
+    assert decompress_words(compress_words(words)) == words
+
+
+def test_mixed_content_roundtrip():
+    words = [0] * 50 + list(range(1, 20)) + [7] * 40 + [0] * 3 + [1, 2, 1, 2]
+    assert decompress_words(compress_words(words)) == words
+
+
+def test_compression_ratio_helper():
+    assert compression_ratio([]) == 1.0
+    assert compression_ratio([0] * 1000) > 100
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(CompressedFormatError, match="magic"):
+        decompress_words([0xDEADBEEF, 0, 0])
+
+
+def test_short_stream_rejected():
+    with pytest.raises(CompressedFormatError, match="short"):
+        decompress_words([1, 2])
+
+
+def test_truncated_literal_rejected():
+    compressed = compress_words(list(range(1, 10)))
+    with pytest.raises(CompressedFormatError):
+        decompress_words(compressed[:-2])
+
+
+def test_corrupted_payload_detected_by_crc():
+    compressed = compress_words(list(range(1, 50)))
+    compressed[-1] ^= 0x1
+    with pytest.raises(CompressedFormatError):
+        decompress_words(compressed)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    words=st.lists(
+        st.one_of(
+            st.just(0),
+            st.integers(min_value=0, max_value=0xFFFFFFFF),
+            st.sampled_from([0x5A5A5A5A, 0xFFFFFFFF]),
+        ),
+        max_size=512,
+    )
+)
+def test_property_roundtrip(words):
+    assert decompress_words(compress_words(words)) == words
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    run_lengths=st.lists(st.integers(min_value=1, max_value=200), min_size=1, max_size=20),
+    values=st.lists(
+        st.integers(min_value=0, max_value=0xFFFFFFFF), min_size=1, max_size=20
+    ),
+)
+def test_property_runs_roundtrip(run_lengths, values):
+    """Streams made of runs (the bitstream-like case) round-trip exactly."""
+    words = []
+    for i, run in enumerate(run_lengths):
+        words.extend([values[i % len(values)]] * run)
+    assert decompress_words(compress_words(words)) == words
+
+
+def test_realistic_partial_bitstream_ratio():
+    """A sparse frame payload (mostly zeros, some config words) shrinks a lot."""
+    words = []
+    for frame in range(200):
+        frame_words = [0] * 101
+        if frame % 7 == 0:
+            frame_words[3] = 0x80000000 | frame
+            frame_words[50] = 0x12345678
+        words.extend(frame_words)
+    ratio = compression_ratio(words)
+    assert ratio > 20
+    assert decompress_words(compress_words(words)) == words

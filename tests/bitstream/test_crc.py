@@ -1,0 +1,120 @@
+"""Tests for the configuration CRC."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitstream import ConfigCrc, crc32c_bytes, crc32c_words
+
+
+def test_crc32c_known_vector():
+    # Standard CRC-32C check value for "123456789".
+    assert crc32c_bytes(b"123456789") == 0xE3069283
+
+
+def test_crc32c_empty():
+    assert crc32c_bytes(b"") == 0
+
+
+def test_crc32c_words_matches_bytes_little_endian():
+    words = [0x11223344, 0xAABBCCDD]
+    data = b"\x44\x33\x22\x11\xdd\xcc\xbb\xaa"
+    assert crc32c_words(words) == crc32c_bytes(data)
+
+
+def test_config_crc_starts_clean():
+    crc = ConfigCrc()
+    assert crc.value == 0
+    assert not crc.error
+
+
+def test_config_crc_update_changes_value():
+    crc = ConfigCrc()
+    crc.update(2, 0xDEADBEEF)
+    assert crc.value != 0
+    assert crc.words_folded == 1
+
+
+def test_config_crc_check_match_resets():
+    crc = ConfigCrc()
+    crc.update(1, 0x12345678)
+    expected = crc.value
+    assert crc.check(expected) is True
+    assert crc.value == 0
+    assert not crc.error
+
+
+def test_config_crc_check_mismatch_latches_error():
+    crc = ConfigCrc()
+    crc.update(1, 0x12345678)
+    assert crc.check(0xBAD) is False
+    assert crc.error
+    crc.reset()
+    assert not crc.error
+
+
+def test_config_crc_order_sensitivity():
+    a = ConfigCrc()
+    a.update(1, 0x1)
+    a.update(2, 0x2)
+    b = ConfigCrc()
+    b.update(2, 0x2)
+    b.update(1, 0x1)
+    assert a.value != b.value
+
+
+def test_config_crc_address_sensitivity():
+    a = ConfigCrc()
+    a.update(1, 0x1234)
+    b = ConfigCrc()
+    b.update(2, 0x1234)
+    assert a.value != b.value
+
+
+def test_config_crc_rejects_bad_inputs():
+    crc = ConfigCrc()
+    with pytest.raises(ValueError):
+        crc.update(32, 0)
+    with pytest.raises(ValueError):
+        crc.update(0, 1 << 32)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=31),
+            st.integers(min_value=0, max_value=0xFFFFFFFF),
+        ),
+        min_size=1,
+        max_size=64,
+    )
+)
+def test_property_deterministic(pairs):
+    a = ConfigCrc().updated_many(pairs)
+    b = ConfigCrc().updated_many(pairs)
+    assert a.value == b.value
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=31),
+            st.integers(min_value=0, max_value=0xFFFFFFFF),
+        ),
+        min_size=1,
+        max_size=32,
+    ),
+    flip_index=st.integers(min_value=0, max_value=1 << 30),
+    flip_bit=st.integers(min_value=0, max_value=31),
+)
+def test_property_single_word_corruption_detected(pairs, flip_index, flip_bit):
+    """Any single-bit flip in any data word changes the CRC."""
+    index = flip_index % len(pairs)
+    corrupted = list(pairs)
+    addr, word = corrupted[index]
+    corrupted[index] = (addr, word ^ (1 << flip_bit))
+    clean = ConfigCrc().updated_many(pairs)
+    dirty = ConfigCrc().updated_many(corrupted)
+    assert clean.value != dirty.value

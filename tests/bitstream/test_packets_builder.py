@@ -1,0 +1,188 @@
+"""Tests for packet encoding, the builder and the parser."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitstream import (
+    FRAME_WORDS,
+    BitstreamBuilder,
+    BitstreamFormatError,
+    BitstreamParser,
+    Command,
+    ConfigRegister,
+    OP_NOP,
+    OP_READ,
+    OP_WRITE,
+    decode_header,
+    make_z7020_layout,
+    type1,
+    type2,
+)
+
+
+# ---------------------------------------------------------------- packets ----
+def test_type1_encode_decode():
+    word = type1(OP_WRITE, int(ConfigRegister.FDRI), 7)
+    header = decode_header(word)
+    assert header.packet_type == 1
+    assert header.is_write
+    assert header.register_addr == int(ConfigRegister.FDRI)
+    assert header.word_count == 7
+
+
+def test_type2_encode_decode():
+    word = type2(OP_WRITE, 131_805)
+    header = decode_header(word)
+    assert header.packet_type == 2
+    assert header.word_count == 131_805
+
+
+def test_packet_validation():
+    with pytest.raises(ValueError):
+        type1(OP_WRITE, 40, 1)
+    with pytest.raises(ValueError):
+        type1(OP_WRITE, 1, 5000)
+    with pytest.raises(ValueError):
+        type2(OP_WRITE, 1 << 27)
+    with pytest.raises(ValueError):
+        type1(3, 1, 1)
+
+
+def test_decode_unknown_type_rejected():
+    with pytest.raises(ValueError):
+        decode_header(0x60000000)  # type 3
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    opcode=st.sampled_from([OP_NOP, OP_READ, OP_WRITE]),
+    addr=st.integers(min_value=0, max_value=31),
+    count=st.integers(min_value=0, max_value=0x7FF),
+)
+def test_property_type1_roundtrip(opcode, addr, count):
+    header = decode_header(type1(opcode, addr, count))
+    assert (header.opcode, header.register_addr, header.word_count) == (
+        opcode,
+        addr,
+        count,
+    )
+
+
+# ------------------------------------------------------------ builder/parser --
+@pytest.fixture(scope="module")
+def layout():
+    return make_z7020_layout()
+
+
+def _frames(layout, region, fill=0):
+    count = layout.region_frame_count(region)
+    return [[fill] * FRAME_WORDS for _ in range(count)]
+
+
+def test_build_and_parse_roundtrip(layout):
+    builder = BitstreamBuilder(layout)
+    frame_data = _frames(layout, "RP2", fill=0x5A5A5A5A)
+    bitstream = builder.build_partial("RP2", frame_data)
+    parsed = BitstreamParser(layout).parse_words(bitstream.words)
+
+    assert parsed.crc_ok
+    assert parsed.desynced
+    assert parsed.idcode == layout.idcode
+    assert parsed.far == layout.region_frames("RP2")[0]
+    assert parsed.payload_frames() == frame_data
+
+
+def test_build_wrong_frame_count_rejected(layout):
+    builder = BitstreamBuilder(layout)
+    with pytest.raises(ValueError, match="frames"):
+        builder.build_partial("RP1", [[0] * FRAME_WORDS])
+
+
+def test_build_wrong_frame_width_rejected(layout):
+    builder = BitstreamBuilder(layout)
+    count = layout.region_frame_count("RP1")
+    frames = [[0] * FRAME_WORDS for _ in range(count)]
+    frames[5] = [0] * (FRAME_WORDS - 1)
+    with pytest.raises(ValueError, match="words"):
+        builder.build_partial("RP1", frames)
+
+
+def test_pad_to_exact_size(layout):
+    builder = BitstreamBuilder(layout)
+    bitstream = builder.build_partial(
+        "RP1", _frames(layout, "RP1"), pad_to_bytes=528_760
+    )
+    assert bitstream.size_bytes == 528_760
+    # Padding must not break parseability or the CRC.
+    parsed = BitstreamParser(layout).parse_words(bitstream.words)
+    assert parsed.crc_ok
+
+
+def test_pad_validation(layout):
+    builder = BitstreamBuilder(layout)
+    with pytest.raises(ValueError):
+        builder.build_partial("RP1", _frames(layout, "RP1"), pad_to_bytes=1001)
+    with pytest.raises(ValueError):
+        builder.build_partial("RP1", _frames(layout, "RP1"), pad_to_bytes=400)
+
+
+def test_serialisation_roundtrip(layout):
+    builder = BitstreamBuilder(layout)
+    bitstream = builder.build_partial("RP3", _frames(layout, "RP3", fill=3))
+    from repro.bitstream import Bitstream
+
+    again = Bitstream.from_bytes(bitstream.to_bytes(), region_name="RP3")
+    assert again.words == bitstream.words
+
+
+def test_corruption_detected_by_parser_crc(layout):
+    builder = BitstreamBuilder(layout)
+    bitstream = builder.build_partial("RP4", _frames(layout, "RP4", fill=7))
+    # Corrupt a word inside the FDRI payload.
+    corrupted = bitstream.corrupted(len(bitstream.words) // 2, flip_mask=0x100)
+    parsed = BitstreamParser(layout).parse_words(corrupted.words)
+    assert not parsed.crc_ok
+
+
+def test_parser_rejects_streams_without_sync():
+    parser = BitstreamParser()
+    with pytest.raises(BitstreamFormatError, match="sync"):
+        parser.parse_words([0xFFFFFFFF] * 16)
+
+
+def test_parser_rejects_overrunning_packet():
+    from repro.bitstream import SYNC_WORD
+
+    parser = BitstreamParser()
+    words = [SYNC_WORD, type1(OP_WRITE, int(ConfigRegister.FDRI), 10), 0x0]
+    with pytest.raises(BitstreamFormatError, match="overruns"):
+        parser.parse_words(words)
+
+
+def test_parser_rejects_orphan_type2():
+    from repro.bitstream import SYNC_WORD
+
+    parser = BitstreamParser()
+    with pytest.raises(BitstreamFormatError, match="type-2"):
+        parser.parse_words([SYNC_WORD, type2(OP_WRITE, 1), 0x0])
+
+
+def test_parser_idcode_mismatch_rejected(layout):
+    builder = BitstreamBuilder(layout)
+    bitstream = builder.build_partial("RP1", _frames(layout, "RP1"))
+    # Find the IDCODE payload word and flip it.
+    idcode_index = bitstream.words.index(layout.idcode)
+    corrupted = bitstream.corrupted(idcode_index, flip_mask=0xF0)
+    with pytest.raises(BitstreamFormatError, match="IDCODE"):
+        BitstreamParser(layout).parse_words(corrupted.words)
+
+
+def test_parsed_ops_sequence(layout):
+    builder = BitstreamBuilder(layout)
+    bitstream = builder.build_partial("RP1", _frames(layout, "RP1"))
+    parsed = BitstreamParser(layout).parse_words(bitstream.words)
+    registers = [op.register_name for op in parsed.ops]
+    # CMD(RCRC), IDCODE, CMD(WCFG), FAR, FDRI, CRC, CMD(LFRM), CMD(DESYNC)
+    assert registers == ["CMD", "IDCODE", "CMD", "FAR", "FDRI", "CRC", "CMD", "CMD"]
+    assert parsed.ops[-1].words == (int(Command.DESYNC),)

@@ -1,0 +1,129 @@
+"""Tests for the ZedBoard peripherals."""
+
+import pytest
+
+from repro.board import (
+    DEFAULT_FREQUENCY_TABLE,
+    OledDisplay,
+    PushButtons,
+    SdCard,
+    SwitchBank,
+)
+from repro.sim import Simulator
+
+
+# ---------------------------------------------------------------- switches --
+def test_switch_codes():
+    bank = SwitchBank()
+    bank.set_code(0b0000_0101)
+    assert bank.read_code() == 5
+    bank.set_switch(1, True)
+    assert bank.read_code() == 7
+
+
+def test_switch_validation():
+    bank = SwitchBank()
+    with pytest.raises(IndexError):
+        bank.set_switch(8, True)
+    with pytest.raises(ValueError):
+        bank.set_code(256)
+
+
+def test_frequency_table_selection():
+    bank = SwitchBank()
+    for code, freq in DEFAULT_FREQUENCY_TABLE.items():
+        bank.set_code(code)
+        assert bank.selected_frequency_mhz() == freq
+    bank.set_code(200)  # unmapped code falls back to nominal
+    assert bank.selected_frequency_mhz() == 100.0
+
+
+# ----------------------------------------------------------------- buttons --
+def test_button_press_fires_handlers():
+    buttons = PushButtons()
+    hits = []
+    buttons.on_press("BTNC", lambda: hits.append("c"))
+    buttons.on_press("BTNC", lambda: hits.append("c2"))
+    buttons.press("BTNC")
+    assert hits == ["c", "c2"]
+    assert buttons.press_counts["BTNC"] == 1
+
+
+def test_unknown_button_rejected():
+    buttons = PushButtons()
+    with pytest.raises(KeyError):
+        buttons.press("NOPE")
+    with pytest.raises(KeyError):
+        buttons.on_press("NOPE", lambda: None)
+
+
+# -------------------------------------------------------------------- OLED --
+def test_oled_write_and_snapshot():
+    oled = OledDisplay()
+    oled.write_line(0, "FREQ 200.0 MHz")
+    oled.write_line(3, "CRC valid")
+    assert oled.line(0) == "FREQ 200.0 MHz"
+    assert oled.snapshot()[3] == "CRC valid"
+    assert oled.updates == 2
+
+
+def test_oled_truncates_long_lines():
+    oled = OledDisplay()
+    oled.write_line(1, "x" * 100)
+    assert len(oled.line(1)) == OledDisplay.COLUMNS
+
+
+def test_oled_bounds():
+    oled = OledDisplay()
+    with pytest.raises(IndexError):
+        oled.write_line(4, "no")
+    with pytest.raises(IndexError):
+        oled.line(-1)
+
+
+def test_oled_render_frame():
+    oled = OledDisplay()
+    oled.write_line(0, "hello")
+    rendered = oled.render()
+    assert "hello" in rendered
+    assert rendered.count("+") == 4  # four frame corners
+    oled.clear()
+    assert oled.line(0) == ""
+
+
+# ----------------------------------------------------------------- SD card --
+def test_sd_store_and_list():
+    sim = Simulator()
+    card = SdCard(sim)
+    card.store_file("rp1_fir.bin", b"\x01\x02")
+    card.store_file("rp1_aes.bin", b"\x03")
+    assert card.list_files() == ["rp1_aes.bin", "rp1_fir.bin"]
+    assert card.file_size("rp1_fir.bin") == 2
+    with pytest.raises(ValueError):
+        card.store_file("", b"")
+
+
+def test_sd_read_is_timed():
+    sim = Simulator()
+    card = SdCard(sim)
+    payload = bytes(1_000_000)
+    card.store_file("big.bin", payload)
+    got = {}
+
+    def reader(sim):
+        got["data"] = yield card.read_file("big.bin")
+        got["time"] = sim.now
+
+    sim.process(reader(sim))
+    sim.run()
+    assert got["data"] == payload
+    # ~50 ms at 20 MB/s plus access latency.
+    assert got["time"] == pytest.approx(50e6 + SdCard.ACCESS_LATENCY_NS, rel=0.01)
+    assert card.bytes_read == len(payload)
+
+
+def test_sd_missing_file():
+    sim = Simulator()
+    card = SdCard(sim)
+    with pytest.raises(FileNotFoundError):
+        card.read_file("ghost.bin")

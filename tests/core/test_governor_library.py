@@ -1,0 +1,123 @@
+"""Tests for the active-feedback governor and the bitstream library."""
+
+import pytest
+
+from repro.core import ActiveFeedbackGovernor, BitstreamLibrary, PdrSystem
+from repro.fabric import Aes128Asp, FirFilterAsp
+
+
+@pytest.fixture(scope="module")
+def system():
+    return PdrSystem()
+
+
+# ----------------------------------------------------------------- governor --
+@pytest.fixture()
+def governor(system):
+    return ActiveFeedbackGovernor(system.timing, system.temp_sensor)
+
+
+def test_governor_margin_validation(system):
+    with pytest.raises(ValueError):
+        ActiveFeedbackGovernor(system.timing, system.temp_sensor, margin_mhz=-1)
+
+
+def test_safe_limit_at_bench_temperature(system, governor):
+    system.set_die_temperature(40.0)
+    # Weakest path is the control path: 305 MHz at 40 C, minus 10 margin.
+    assert governor.max_safe_mhz() == pytest.approx(295.0, abs=1.0)
+
+
+def test_safe_limit_derates_with_temperature(system, governor):
+    system.set_die_temperature(40.0)
+    cool = governor.max_safe_mhz()
+    system.set_die_temperature(100.0)
+    hot = governor.max_safe_mhz()
+    system.set_die_temperature(40.0)
+    assert hot < cool
+
+
+def test_requests_below_limit_pass_through(system, governor):
+    assert governor.authorise(200.0) == 200.0
+    assert governor.clamps_applied == 0
+
+
+def test_requests_above_limit_clamped(system, governor):
+    system.set_die_temperature(40.0)
+    assert governor.authorise(360.0) == pytest.approx(295.0, abs=1.0)
+    assert governor.clamps_applied == 1
+    with pytest.raises(ValueError):
+        governor.authorise(0.0)
+
+
+def test_governed_reconfigure_never_fails(system, governor):
+    """Even a 360 MHz request at 100 C succeeds under governance —
+    the §IV-A failure cell is unreachable."""
+    system.set_die_temperature(100.0)
+    governed = governor.reconfigure(
+        system, "RP1", FirFilterAsp([3, 3]), requested_mhz=360.0
+    )
+    system.set_die_temperature(40.0)
+    assert governed.clamped
+    assert governed.authorised_mhz < 300.0
+    assert governed.result.succeeded
+    assert governed.result.crc_valid
+
+
+def test_ungoverned_equivalent_fails(system):
+    """Control: the same request without the governor corrupts the load."""
+    system.set_die_temperature(100.0)
+    result = system.reconfigure("RP2", FirFilterAsp([3, 3]), 360.0)
+    system.set_die_temperature(40.0)
+    assert not result.crc_valid
+
+
+# ------------------------------------------------------------------ library --
+def test_library_register_and_load(system):
+    library = BitstreamLibrary(system)
+    library.register("fir-lowpass", "RP3", FirFilterAsp([1, 2, 1]))
+    library.register("aes-main", "RP4", Aes128Asp([1, 2, 3, 4]))
+    assert library.names() == ["aes-main", "fir-lowpass"]
+
+    result = library.load("fir-lowpass", 200.0)
+    assert result.succeeded
+    assert system.run_asp("RP3", [1, 0, 0]) == [1, 2, 1]
+    assert library.loads == 1
+
+
+def test_library_duplicate_and_missing(system):
+    library = BitstreamLibrary(system)
+    library.register("x", "RP1", FirFilterAsp([1]))
+    with pytest.raises(ValueError):
+        library.register("x", "RP1", FirFilterAsp([1]))
+    with pytest.raises(ValueError):
+        library.register("", "RP1", FirFilterAsp([1]))
+    with pytest.raises(KeyError):
+        library.load("ghost", 100.0)
+
+
+def test_library_prefetch_is_idempotent(system):
+    library = BitstreamLibrary(system)
+    library.register("img", "RP1", FirFilterAsp([9, 9]))
+    addr1 = library.prefetch("img")
+    addr2 = library.prefetch("img")
+    assert addr1 == addr2
+    assert library.entry("img").prefetched
+
+
+def test_library_sd_export(system):
+    library = BitstreamLibrary(system)
+    library.register("boot-img", "RP2", FirFilterAsp([4]))
+    filename = library.store_on_sd("boot-img")
+    assert filename == "boot-img.bin"
+    assert system.sdcard.file_size(filename) == library.entry(
+        "boot-img"
+    ).bitstream.size_bytes
+
+
+def test_library_prefetch_all(system):
+    library = BitstreamLibrary(system)
+    library.register("a", "RP1", FirFilterAsp([1]))
+    library.register("b", "RP2", FirFilterAsp([2]))
+    library.prefetch_all()
+    assert all(library.entry(n).prefetched for n in library.names())

@@ -1,0 +1,112 @@
+"""Tests for the per-RP AXI-Lite control interface."""
+
+import pytest
+
+from repro.axi import AxiLiteError
+from repro.bitstream import make_z7020_layout
+from repro.core import AspRequest, HllFramework
+from repro.core.rp_regs import (
+    CONTROL_IRQ_EN,
+    REG_CONTROL,
+    REG_GENCOUNT,
+    REG_ID,
+    REG_STATUS,
+    RpControlInterface,
+    STATUS_BUSY,
+    STATUS_CONFIGURED,
+    STATUS_DECODE_ERROR,
+)
+from repro.fabric import (
+    AspKind,
+    ConfigMemory,
+    FirFilterAsp,
+    RpRegion,
+    encode_asp_frames,
+)
+from repro.sim import ClockDomain, Simulator
+
+
+@pytest.fixture()
+def rig():
+    sim = Simulator()
+    memory = ConfigMemory(make_z7020_layout())
+    region = RpRegion(memory, "RP1")
+    clock = ClockDomain(sim, 100.0)
+    control = RpControlInterface(sim, clock, region)
+    return sim, memory, region, control
+
+
+def _read(sim, control, offset):
+    def driver(sim):
+        value = yield control.regs.read(offset)
+        return value
+
+    return sim.run_until(sim.process(driver(sim)))
+
+
+def test_blank_region_reports_unconfigured(rig):
+    sim, _memory, _region, control = rig
+    assert _read(sim, control, REG_ID) == 0xFFFFFFFF
+    assert _read(sim, control, REG_STATUS) == 0
+    assert _read(sim, control, REG_GENCOUNT) == 0
+
+
+def test_configured_region_reports_kind_and_status(rig):
+    sim, memory, region, control = rig
+    frames = encode_asp_frames(region.frame_count, FirFilterAsp([1, 2]))
+    memory.write_region("RP1", frames)
+    assert _read(sim, control, REG_ID) == AspKind.FIR_FILTER
+    assert _read(sim, control, REG_STATUS) & STATUS_CONFIGURED
+    assert _read(sim, control, REG_GENCOUNT) == 1
+
+
+def test_corrupted_region_reports_decode_error(rig):
+    sim, memory, region, control = rig
+    frames = encode_asp_frames(region.frame_count, FirFilterAsp([1]))
+    memory.write_region("RP1", frames)
+    memory.corrupt_region_word("RP1", 0, flip_mask=0xFFFF)
+    status = _read(sim, control, REG_STATUS)
+    assert status & STATUS_DECODE_ERROR
+    assert not status & STATUS_CONFIGURED
+
+
+def test_busy_bit_tracks_channel(rig):
+    sim, _memory, _region, control = rig
+    control.set_busy(True)
+    assert _read(sim, control, REG_STATUS) & STATUS_BUSY
+    control.set_busy(False)
+    assert not _read(sim, control, REG_STATUS) & STATUS_BUSY
+
+
+def test_status_registers_are_read_only(rig):
+    _sim, _memory, _region, control = rig
+    with pytest.raises(AxiLiteError):
+        control.regs.write(REG_ID, 1)
+    with pytest.raises(AxiLiteError):
+        control.regs.write(REG_STATUS, 1)
+
+
+def test_irq_enable_gate(rig):
+    _sim, _memory, _region, control = rig
+    control.signal_data_ready()
+    assert control.data_ready_irq.assert_count == 1
+    control._write_control(0)  # IRQ disabled
+    control.signal_data_ready()
+    assert control.data_ready_irq.assert_count == 1
+
+
+def test_framework_wires_data_ready_interrupts():
+    framework = HllFramework(icap_freq_mhz=200.0)
+    assert set(framework.controls) == {"RP1", "RP2", "RP3", "RP4"}
+    result = framework.run_job(
+        AspRequest(asp=FirFilterAsp([4, 4]), input_words=[1, 2, 3])
+    )
+    control = framework.controls[result.region]
+    assert control.data_ready_irq.assert_count == 1
+    # The GIC saw the data-ready edge under the per-region id.
+    assert framework.system.gic.counts[f"{result.region}_ready"] == 1
+
+    # The ID register over the GP port reflects the loaded ASP.
+    sim = framework.system.sim
+    value = _read(sim, control, REG_ID)
+    assert value == AspKind.FIR_FILTER

@@ -1,0 +1,65 @@
+"""Smoke tests: every shipped example must run clean and say what it
+claims.  These guard the examples against API drift."""
+
+import contextlib
+import io
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    """Execute an example's main() and capture stdout."""
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return buffer.getvalue()
+
+
+def test_examples_directory_contents():
+    names = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+    assert "quickstart.py" in names
+    assert len(names) >= 5
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "speedup" in out
+    assert "69c4e0d8" in out  # FIPS-197 ciphertext word
+    assert "CRC  valid" in out  # OLED line
+
+
+def test_asp_switching():
+    out = run_example("asp_switching.py")
+    assert "100 MHz" in out and "200 MHz" in out
+    assert "saves" in out
+    assert "anatomy of a miss" in out
+
+
+def test_temperature_stress():
+    out = run_example("temperature_stress.py")
+    assert out.count("FAIL") == 1  # only 310 MHz @ 100 C
+    assert "steady state" in out
+
+
+def test_board_demo():
+    out = run_example("board_demo.py")
+    assert "booting from SD card" in out
+    assert "all CRC-valid: True" in out
+    assert "280" in out
+
+
+def test_proposed_sram_pr():
+    out = run_example("proposed_sram_pr.py")
+    assert "1237" in out
+    assert "hidden" in out
+
+
+def test_governed_overclocking():
+    out = run_example("governed_overclocking.py")
+    assert "clamps applied: 5" in out
+    assert "NOT VALID" in out  # the ungoverned control run
+    assert out.count("valid") >= 5

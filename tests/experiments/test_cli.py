@@ -1,0 +1,53 @@
+"""Tests for the repro-pdr command-line interface."""
+
+import contextlib
+import io
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, main
+
+
+def test_experiment_registry_covers_every_artifact():
+    assert set(EXPERIMENTS) == {
+        "table1",
+        "table2",
+        "table3",
+        "fig5",
+        "fig6",
+        "temp-stress",
+        "proposed",
+        "methodology",
+        "campaign",
+        "sensitivity",
+    }
+
+
+def test_cli_runs_single_experiment():
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = main(["table2"])
+    out = buffer.getvalue()
+    assert code == 0
+    assert "Table II" in out
+    assert "200 MHz" in out
+
+
+def test_cli_runs_multiple_experiments():
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = main(["table3", "methodology"])
+    out = buffer.getvalue()
+    assert code == 0
+    assert "Table III" in out
+    assert "methodology" in out
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["nonsense"])
+
+
+def test_cli_requires_an_argument():
+    with pytest.raises(SystemExit):
+        main([])

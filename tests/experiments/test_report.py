@@ -1,0 +1,52 @@
+"""Tests for the report formatting helpers."""
+
+import pytest
+
+from repro.experiments.report import ExperimentReport, fmt, fmt_err, format_table
+
+
+def test_fmt_values_and_na():
+    assert fmt(3.14159, 2) == "3.14"
+    assert fmt(None) == "N/A"
+    assert fmt(None, na="-") == "-"
+    assert fmt(790.138, 0) == "790"
+
+
+def test_fmt_err():
+    assert fmt_err(101.0, 100.0) == "+1.0%"
+    assert fmt_err(99.0, 100.0) == "-1.0%"
+    assert fmt_err(None, 100.0) == "-"
+    assert fmt_err(100.0, None) == "-"
+    assert fmt_err(100.0, 0.0) == "-"
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["MHz", "MB/s"],
+        [["100", "399.06"], ["280", "790.14"]],
+    )
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    assert lines[0].endswith("MB/s")
+    # All rows are the same width (right-aligned grid).
+    assert len({len(line) for line in lines}) == 1
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [["1"]])
+
+
+def test_format_table_empty_rows():
+    text = format_table(["a", "b"], [])
+    assert "a" in text and "b" in text
+
+
+def test_experiment_report_rendering():
+    report = ExperimentReport("My Experiment")
+    report.add("first section")
+    report.add("second section")
+    text = report.render()
+    assert text.index("My Experiment") < text.index("first section")
+    assert text.index("first section") < text.index("second section")
+    assert "=" * 40 in text

@@ -1,0 +1,106 @@
+"""Tests for RpRegion and readback helpers."""
+
+import pytest
+
+from repro.bitstream import make_z7020_layout
+from repro.fabric import (
+    AspDecodeError,
+    ConfigMemory,
+    FirFilterAsp,
+    MatMulAsp,
+    RegionNotConfigured,
+    RpRegion,
+    encode_asp_frames,
+    golden_region_crcs,
+    region_crc,
+)
+
+
+@pytest.fixture()
+def memory():
+    return ConfigMemory(make_z7020_layout())
+
+
+def _load(memory, region_name, asp):
+    frames = encode_asp_frames(
+        memory.layout.region_frame_count(region_name), asp
+    )
+    memory.write_region(region_name, frames)
+
+
+def test_blank_region_raises(memory):
+    region = RpRegion(memory, "RP1")
+    assert region.is_blank()
+    with pytest.raises(RegionNotConfigured):
+        region.current_asp()
+    assert region.try_current_asp() is None
+
+
+def test_unknown_region_name_rejected(memory):
+    with pytest.raises(KeyError):
+        RpRegion(memory, "RP77")
+
+
+def test_configured_region_computes(memory):
+    region = RpRegion(memory, "RP1")
+    _load(memory, "RP1", FirFilterAsp([2, 1]))
+    assert region.compute([1, 0, 0]) == [2, 1, 0]
+    assert region.current_asp().name == "fir-filter"
+
+
+def test_reconfiguration_swaps_behaviour(memory):
+    region = RpRegion(memory, "RP2")
+    _load(memory, "RP2", FirFilterAsp([1]))
+    assert region.compute([5]) == [5]
+    _load(memory, "RP2", MatMulAsp(2))
+    assert region.current_asp().name == "matmul"
+    assert region.compute([1, 0, 0, 1, 9, 8, 7, 6]) == [9, 8, 7, 6]
+
+
+def test_asp_cache_invalidated_on_rewrite(memory):
+    region = RpRegion(memory, "RP3")
+    _load(memory, "RP3", FirFilterAsp([1, 2]))
+    first = region.current_asp()
+    assert region.current_asp() is first  # cached
+    _load(memory, "RP3", FirFilterAsp([3, 4]))
+    second = region.current_asp()
+    assert second is not first
+    assert second.coefficients == [3, 4]
+
+
+def test_corrupted_region_fails_decode(memory):
+    region = RpRegion(memory, "RP4")
+    _load(memory, "RP4", FirFilterAsp([1]))
+    memory.corrupt_region_word("RP4", 0, flip_mask=0xFFFF)  # destroy the magic
+    with pytest.raises(AspDecodeError):
+        region.current_asp()
+
+
+def test_reconfiguration_count(memory):
+    region = RpRegion(memory, "RP1")
+    assert region.reconfiguration_count == 0
+    _load(memory, "RP1", FirFilterAsp([1]))
+    assert region.reconfiguration_count == 1
+    _load(memory, "RP1", FirFilterAsp([2]))
+    assert region.reconfiguration_count == 2
+
+
+def test_region_crc_changes_with_content(memory):
+    before = region_crc(memory, "RP1")
+    _load(memory, "RP1", FirFilterAsp([7]))
+    after = region_crc(memory, "RP1")
+    assert before != after
+
+
+def test_region_crc_detects_single_bit_corruption(memory):
+    _load(memory, "RP2", FirFilterAsp([7, 8, 9]))
+    clean = region_crc(memory, "RP2")
+    memory.corrupt_region_word("RP2", 12_345, flip_mask=0x1)
+    assert region_crc(memory, "RP2") != clean
+
+
+def test_golden_crcs_cover_all_regions(memory):
+    crcs = golden_region_crcs(memory)
+    assert set(crcs) == {"RP1", "RP2", "RP3", "RP4"}
+    # All blank regions of equal size have equal CRCs.
+    assert len(set(crcs.values())) == 1

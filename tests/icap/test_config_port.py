@@ -1,0 +1,150 @@
+"""Tests for the configuration-port state machine."""
+
+import pytest
+
+from repro.bitstream import (
+    FRAME_WORDS,
+    BitstreamBuilder,
+    Command,
+    ConfigRegister,
+    OP_WRITE,
+    SYNC_WORD,
+    make_z7020_layout,
+    type1,
+)
+from repro.fabric import ConfigMemory, FirFilterAsp, encode_asp_frames
+from repro.icap import ConfigPort
+
+
+@pytest.fixture()
+def setup():
+    layout = make_z7020_layout()
+    memory = ConfigMemory(layout)
+    return layout, memory, ConfigPort(memory), BitstreamBuilder(layout)
+
+
+def _build(layout, builder, region, asp=None):
+    frames = encode_asp_frames(
+        layout.region_frame_count(region), asp or FirFilterAsp([1, 2])
+    )
+    return builder.build_partial(region, frames), frames
+
+
+def test_ignores_words_before_sync(setup):
+    _layout, _memory, port, _builder = setup
+    port.feed_words([0xFFFFFFFF, 0x12345678, 0xDEADBEEF])
+    assert not port.synced
+    assert port.words_consumed == 3
+
+
+def test_full_bitstream_loads_region(setup):
+    layout, memory, port, builder = setup
+    bitstream, frames = _build(layout, builder, "RP1")
+    port.feed_words(bitstream.words)
+    assert port.desynced
+    assert not port.has_error
+    assert port.frames_committed == layout.region_frame_count("RP1")
+    assert memory.region_frames("RP1") == frames
+
+
+def test_pad_frame_not_committed(setup):
+    """The flush pad frame must not spill into the next column."""
+    layout, memory, port, builder = setup
+    bitstream, _frames = _build(layout, builder, "RP1")
+    port.feed_words(bitstream.words)
+    # The frame just after the region must remain untouched.
+    last = layout.region_frames("RP1")[-1]
+    next_index = layout.frame_index(last) + 1
+    assert memory.read_frame(next_index) == [0] * FRAME_WORDS
+
+
+def test_crc_error_on_corrupted_payload(setup):
+    layout, memory, port, builder = setup
+    bitstream, _ = _build(layout, builder, "RP2")
+    corrupted = bitstream.corrupted(len(bitstream.words) // 2, flip_mask=0x8)
+    port.feed_words(corrupted.words)
+    assert port.crc_error
+    assert port.has_error
+
+
+def test_idcode_mismatch_blocks_frame_writes(setup):
+    layout, memory, port, builder = setup
+    bitstream, _ = _build(layout, builder, "RP3")
+    idcode_index = bitstream.words.index(layout.idcode)
+    corrupted = bitstream.corrupted(idcode_index, flip_mask=0xF)
+    port.feed_words(corrupted.words)
+    assert port.idcode_error
+    assert port.frames_committed == 0
+    assert all(w == 0 for w in memory.region_words("RP3"))
+
+
+def test_reset_clears_state(setup):
+    layout, _memory, port, builder = setup
+    bitstream, _ = _build(layout, builder, "RP1")
+    port.feed_words(bitstream.words)
+    port.reset()
+    assert not port.synced
+    assert not port.desynced
+    assert port.frames_committed == 0
+    assert port.words_consumed == 0
+
+
+def test_bulk_and_scalar_paths_equivalent(setup):
+    """feed_words' FDRI fast path must match word-at-a-time feeding."""
+    layout, _memory, _port, builder = setup
+    bitstream, _ = _build(layout, builder, "RP1")
+
+    memory_a = ConfigMemory(layout)
+    port_a = ConfigPort(memory_a)
+    port_a.feed_words(bitstream.words)
+
+    memory_b = ConfigMemory(layout)
+    port_b = ConfigPort(memory_b)
+    for word in bitstream.words:
+        port_b.feed_word(word)
+
+    assert port_a.crc.value == port_b.crc.value
+    assert port_a.frames_committed == port_b.frames_committed
+    assert memory_a.region_words("RP1") == memory_b.region_words("RP1")
+    assert port_a.has_error == port_b.has_error == False  # noqa: E712
+
+
+def test_fdri_without_wcfg_is_ignored(setup):
+    layout, memory, port, _builder = setup
+    words = [
+        SYNC_WORD,
+        type1(OP_WRITE, int(ConfigRegister.FAR), 1),
+        layout.region_frames("RP1")[0].encode(),
+        type1(OP_WRITE, int(ConfigRegister.FDRI), 4),
+        1, 2, 3, 4,
+    ]
+    port.feed_words(words)
+    assert port.frames_committed == 0
+
+
+def test_unknown_packet_type_latches_error(setup):
+    _layout, _memory, port, _builder = setup
+    port.feed_words([SYNC_WORD, 0x60000001])  # type-3 header
+    assert port.crc_error
+
+
+def test_far_beyond_device_flags_error(setup):
+    layout, _memory, port, _builder = setup
+    words = [
+        SYNC_WORD,
+        type1(OP_WRITE, int(ConfigRegister.CMD), 1),
+        int(Command.WCFG),
+        type1(OP_WRITE, int(ConfigRegister.FAR), 1),
+        0x00FFFFFF,  # far outside the layout
+        type1(OP_WRITE, int(ConfigRegister.FDRI), 0),
+    ]
+    port.feed_words(words)
+    assert port.crc_error
+
+
+def test_rcrc_clears_crc_error(setup):
+    _layout, _memory, port, _builder = setup
+    port.feed_words([SYNC_WORD, 0x60000001])  # latch an error
+    assert port.crc_error
+    port.feed_words([type1(OP_WRITE, int(ConfigRegister.CMD), 1), int(Command.RCRC)])
+    assert not port.crc_error

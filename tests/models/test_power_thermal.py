@@ -1,0 +1,181 @@
+"""Tests for the power, current-sense, thermal, heat-gun and sensor models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power import CurrentSense, PowerModel, PowerModelParams
+from repro.sim import Simulator
+from repro.thermal import HeatGun, TemperatureSensor, ThermalModel
+
+
+# -------------------------------------------------------------------- power --
+@pytest.fixture()
+def power():
+    return PowerModel()
+
+
+def test_table2_power_values(power):
+    """P_PDR at 40 °C matches Table II within the paper's meter noise."""
+    paper = {100: 1.14, 140: 1.23, 180: 1.28, 200: 1.30, 240: 1.36, 280: 1.44}
+    for freq, expected in paper.items():
+        assert power.pdr_power_w(freq, 40.0) == pytest.approx(expected, abs=0.03)
+
+
+def test_dynamic_power_linear_in_frequency(power):
+    p100 = power.dynamic_power_w(100)
+    p200 = power.dynamic_power_w(200)
+    assert p200 == pytest.approx(2 * p100)
+    with pytest.raises(ValueError):
+        power.dynamic_power_w(-1)
+
+
+def test_static_power_superlinear_in_temperature(power):
+    deltas = []
+    previous = power.static_power_w(40.0)
+    for temp in (60.0, 80.0, 100.0):
+        current = power.static_power_w(temp)
+        deltas.append(current - previous)
+        previous = current
+    assert deltas[0] < deltas[1] < deltas[2]
+
+
+def test_board_power_includes_baseline(power):
+    assert power.board_power_w(100, 40.0) == pytest.approx(
+        power.params.p0_board_w + power.pdr_power_w(100, 40.0)
+    )
+
+
+def test_power_efficiency_peak_near_200mhz(power):
+    """Using the paper's throughput column, PpW must peak at 200 MHz."""
+    throughput = {100: 399.06, 140: 558.12, 180: 716.96,
+                  200: 781.84, 240: 786.96, 280: 790.14}
+    efficiency = {
+        f: power.power_efficiency_mb_per_j(t, f, 40.0)
+        for f, t in throughput.items()
+    }
+    assert max(efficiency, key=efficiency.get) == 200
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    f1=st.floats(min_value=0, max_value=500),
+    f2=st.floats(min_value=0, max_value=500),
+    t1=st.floats(min_value=0, max_value=125),
+    t2=st.floats(min_value=0, max_value=125),
+)
+def test_property_power_monotone(f1, f2, t1, t2):
+    power = PowerModel()
+    if f1 <= f2 and t1 <= t2:
+        assert power.pdr_power_w(f1, t1) <= power.pdr_power_w(f2, t2) + 1e-12
+
+
+def test_current_sense_quantisation():
+    power = PowerModel()
+    sense = CurrentSense(power, lambda: 123.0, lambda: 47.0, resolution_w=0.01)
+    reading = sense.read_board_power_w()
+    assert reading == pytest.approx(power.board_power_w(123.0, 47.0), abs=0.006)
+    assert round(reading * 100) == pytest.approx(reading * 100)
+    assert sense.read_pdr_power_w() == pytest.approx(
+        reading - PowerModelParams().p0_board_w
+    )
+    with pytest.raises(ValueError):
+        CurrentSense(power, lambda: 0, lambda: 0, resolution_w=0)
+
+
+# ------------------------------------------------------------------ thermal --
+def test_thermal_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        ThermalModel(sim, tau_s=0)
+
+
+def test_pinned_temperature_is_exact():
+    sim = Simulator()
+    thermal = ThermalModel(sim)
+    thermal.pin_temperature(73.5)
+    assert thermal.temperature_c == 73.5
+
+
+def test_rc_response_approaches_target():
+    sim = Simulator()
+    thermal = ThermalModel(sim, ambient_c=25.0, tau_s=10.0)
+    thermal.unpin()
+    thermal.set_forcing(50.0)  # target 75 °C
+
+    def wait(sim):
+        yield sim.timeout(50e9)  # 50 s = 5 time constants
+
+    sim.run_until(sim.process(wait(sim)))
+    assert thermal.temperature_c == pytest.approx(75.0, abs=0.6)
+
+
+def test_rc_response_is_exponential():
+    sim = Simulator()
+    thermal = ThermalModel(sim, ambient_c=20.0, tau_s=10.0)
+    thermal.unpin()
+    thermal.set_forcing(100.0)  # step to 120 °C
+
+    def wait_tau(sim):
+        yield sim.timeout(10e9)  # exactly one time constant
+
+    sim.run_until(sim.process(wait_tau(sim)))
+    # After 1 tau: 63.2 % of the step.
+    assert thermal.temperature_c == pytest.approx(20.0 + 100.0 * 0.632, abs=0.5)
+
+
+def test_self_heating_from_power_source():
+    sim = Simulator()
+    thermal = ThermalModel(sim, ambient_c=25.0, r_th_c_per_w=8.0,
+                           power_source=lambda: 2.0)
+    assert thermal.steady_state_c() == pytest.approx(25.0 + 16.0)
+
+
+# ----------------------------------------------------------------- heat gun --
+def test_heat_gun_holds_setpoint():
+    sim = Simulator()
+    thermal = ThermalModel(sim, ambient_c=25.0)
+    gun = HeatGun(thermal)
+    gun.hold_die_at(80.0)
+    assert thermal.temperature_c == 80.0
+    assert gun.on
+
+
+def test_heat_gun_cannot_cool():
+    sim = Simulator()
+    thermal = ThermalModel(sim, ambient_c=25.0, power_source=lambda: 5.0)
+    gun = HeatGun(thermal)
+    with pytest.raises(ValueError, match="cool"):
+        gun.hold_die_at(30.0)  # below the 65 °C self-heating floor
+
+
+def test_heat_gun_forcing_range():
+    sim = Simulator()
+    gun = HeatGun(ThermalModel(sim))
+    with pytest.raises(ValueError):
+        gun.set_forcing(-1.0)
+    with pytest.raises(ValueError):
+        gun.set_forcing(1000.0)
+    gun.set_forcing(10.0)
+    gun.off()
+    assert not gun.on
+
+
+# ------------------------------------------------------------------- sensor --
+def test_sensor_quantisation_steps():
+    sim = Simulator()
+    thermal = ThermalModel(sim)
+    sensor = TemperatureSensor(thermal)
+    thermal.pin_temperature(60.0)
+    reading = sensor.read_celsius()
+    # 12-bit XADC step is ~0.123 °C.
+    assert reading == pytest.approx(60.0, abs=0.13)
+    assert sensor.samples_taken == 1
+
+
+def test_sensor_code_bounds():
+    sim = Simulator()
+    thermal = ThermalModel(sim)
+    sensor = TemperatureSensor(thermal)
+    thermal.pin_temperature(-300.0)  # nonphysical: clamps at code 0
+    assert sensor.read_code() == 0

@@ -1,0 +1,65 @@
+"""Tests for the ZedBoard test application firmware."""
+
+import pytest
+
+from repro.core import PdrSystem
+from repro.fabric import Aes128Asp, FirFilterAsp
+from repro.ps.firmware import BUTTON_IMAGE_A, BUTTON_IMAGE_B, ZedboardTestApp
+
+
+@pytest.fixture()
+def app():
+    system = PdrSystem()
+    app = ZedboardTestApp(system)
+    app.provision_image("fir", "RP1", FirFilterAsp([1, 2, 3]))
+    app.provision_image("aes", "RP1", Aes128Asp([4, 3, 2, 1]))
+    return app
+
+
+def test_provisioning_writes_sd(app):
+    assert app.image_names() == ["aes", "fir"]
+    assert "fir.bin" in app.system.sdcard.list_files()
+
+
+def test_boot_stages_images_and_takes_time(app):
+    before = app.system.sim.now
+    app.boot()
+    assert app.booted
+    # Two ~529 kB images at ~20 MB/s: boot costs tens of milliseconds.
+    assert app.system.sim.now - before > 40e6
+    with pytest.raises(RuntimeError):
+        app.boot()
+
+
+def test_load_before_boot_rejected(app):
+    with pytest.raises(RuntimeError, match="not booted"):
+        app.load_image("fir")
+
+
+def test_button_press_loads_selected_image(app):
+    app.bind_button(BUTTON_IMAGE_A, "fir")
+    app.bind_button(BUTTON_IMAGE_B, "aes")
+    app.boot()
+    app.system.switches.set_code(3)  # 200 MHz
+    app.system.buttons.press(BUTTON_IMAGE_A)
+    assert app.loads_performed == 1
+    assert app.system.run_asp("RP1", [1, 0, 0]) == [1, 2, 3]
+    assert "200" in app.system.oled.line(0)
+
+    app.system.buttons.press(BUTTON_IMAGE_B)
+    assert app.loads_performed == 2
+    # The same region now computes AES instead.
+    assert len(app.system.run_asp("RP1", [0, 0, 0, 0])) == 4
+
+
+def test_switch_frequency_respected(app):
+    app.boot()
+    app.system.switches.set_code(5)  # 280 MHz
+    result = app.load_image("fir")
+    assert result.freq_mhz == pytest.approx(280.0)
+    assert result.latency_us == pytest.approx(669.2, rel=0.01)
+
+
+def test_bind_unknown_image_rejected(app):
+    with pytest.raises(KeyError):
+        app.bind_button(BUTTON_IMAGE_A, "ghost")

@@ -1,0 +1,138 @@
+"""Tests for the PS blocks: global timer, GIC, PCAP."""
+
+import pytest
+
+from repro.bitstream import BitstreamBuilder, make_z7020_layout
+from repro.fabric import ConfigMemory, FirFilterAsp, encode_asp_frames
+from repro.ps import GlobalTimer, InterruptController, Pcap
+from repro.sim import InterruptLine, Simulator
+
+
+# -------------------------------------------------------------------- timer --
+def test_timer_ticks_at_cpu_half():
+    sim = Simulator()
+    timer = GlobalTimer(sim, cpu_mhz=600.0)
+    assert timer.tick_mhz == pytest.approx(300.0)
+
+    def wait(sim):
+        yield sim.timeout(3000.0)  # 3 us at 300 MHz -> 900 ticks
+
+    sim.run_until(sim.process(wait(sim)))
+    assert timer.read_ticks() == 900
+
+
+def test_timer_elapsed_us():
+    sim = Simulator()
+    timer = GlobalTimer(sim)
+    start = timer.read_ticks()
+
+    def wait(sim):
+        yield sim.timeout(123_456.0)
+
+    sim.run_until(sim.process(wait(sim)))
+    assert timer.elapsed_us(start) == pytest.approx(123.456, abs=0.005)
+
+
+def test_timer_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        GlobalTimer(sim, cpu_mhz=0)
+
+
+# ---------------------------------------------------------------------- GIC --
+def test_gic_dispatches_handlers_with_latency():
+    sim = Simulator()
+    gic = InterruptController(sim)
+    line = InterruptLine(sim, name="test_irq")
+    gic.connect("test", line)
+    hits = []
+    gic.register_handler("test", lambda: hits.append(sim.now))
+
+    def firer(sim):
+        yield sim.timeout(1000.0)
+        line.assert_()
+
+    sim.process(firer(sim))
+    sim.run()
+    assert gic.counts["test"] == 1
+    assert hits == [1000.0 + InterruptController.ENTRY_LATENCY_NS]
+
+
+def test_gic_counts_only_rising_edges():
+    sim = Simulator()
+    gic = InterruptController(sim)
+    line = InterruptLine(sim)
+    gic.connect("x", line)
+    line.assert_()
+    line.assert_()  # still high: no new edge
+    line.deassert()
+    line.assert_()
+    assert gic.counts["x"] == 2
+
+
+def test_gic_duplicate_and_unknown_ids():
+    sim = Simulator()
+    gic = InterruptController(sim)
+    line = InterruptLine(sim)
+    gic.connect("a", line)
+    with pytest.raises(ValueError):
+        gic.connect("a", InterruptLine(sim))
+    with pytest.raises(KeyError):
+        gic.register_handler("nope", lambda: None)
+    with pytest.raises(KeyError):
+        gic.wait_for("nope")
+    assert gic.line("a") is line
+
+
+def test_gic_wait_for():
+    sim = Simulator()
+    gic = InterruptController(sim)
+    line = InterruptLine(sim)
+    gic.connect("done", line)
+    seen = {}
+
+    def waiter(sim):
+        yield gic.wait_for("done")
+        seen["t"] = sim.now
+
+    def firer(sim):
+        yield sim.timeout(55.0)
+        line.pulse()
+
+    sim.process(waiter(sim))
+    sim.process(firer(sim))
+    sim.run()
+    assert seen["t"] == 55.0
+
+
+# --------------------------------------------------------------------- PCAP --
+def test_pcap_loads_partial_bitstream():
+    sim = Simulator()
+    layout = make_z7020_layout()
+    memory = ConfigMemory(layout)
+    pcap = Pcap(sim, memory)
+    frames = encode_asp_frames(layout.region_frame_count("RP1"), FirFilterAsp([9]))
+    bitstream = BitstreamBuilder(layout).build_partial("RP1", frames)
+    done = {}
+
+    def driver(sim):
+        port = yield pcap.load(bitstream)
+        done["port"] = port
+        done["t"] = sim.now
+
+    sim.process(driver(sim))
+    sim.run()
+    assert done["port"].desynced
+    assert not done["port"].has_error
+    assert memory.region_frames("RP1") == frames
+    # ~3.6 ms at 145 MB/s for a ~528 kB partial.
+    expected_ns = Pcap.SETUP_NS + bitstream.size_bytes / Pcap.EFFECTIVE_RATE
+    assert done["t"] == pytest.approx(expected_ns, rel=0.01)
+
+
+def test_pcap_throughput_is_modest():
+    """The PCAP explains why the paper builds the ICAP path: ~145 MB/s
+    vs ~400 MB/s nominal ICAP."""
+    sim = Simulator()
+    pcap = Pcap(sim, ConfigMemory(make_z7020_layout()))
+    assert pcap.throughput_mb_s() == pytest.approx(145.0)

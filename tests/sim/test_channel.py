@@ -1,0 +1,196 @@
+"""Unit + property tests for the FIFO channel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Channel, SchedulingError, Simulator
+
+
+def test_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Channel(sim, capacity=0)
+
+
+def test_put_get_roundtrip():
+    sim = Simulator()
+    chan = Channel(sim, capacity=4)
+    got = []
+
+    def producer(sim):
+        for i in range(3):
+            yield chan.put(i)
+
+    def consumer(sim):
+        for _ in range(3):
+            got.append((yield chan.get()))
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert got == [0, 1, 2]
+
+
+def test_put_blocks_when_full():
+    sim = Simulator()
+    chan = Channel(sim, capacity=1)
+    times = {}
+
+    def producer(sim):
+        yield chan.put("a")
+        yield chan.put("b")  # blocks until the consumer drains "a"
+        times["second_put"] = sim.now
+
+    def consumer(sim):
+        yield sim.timeout(50.0)
+        yield chan.get()
+        yield chan.get()
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert times["second_put"] == 50.0
+
+
+def test_get_blocks_when_empty():
+    sim = Simulator()
+    chan = Channel(sim)
+    times = {}
+
+    def consumer(sim):
+        value = yield chan.get()
+        times["got"] = (sim.now, value)
+
+    def producer(sim):
+        yield sim.timeout(30.0)
+        yield chan.put("late")
+
+    sim.process(consumer(sim))
+    sim.process(producer(sim))
+    sim.run()
+    assert times["got"] == (30.0, "late")
+
+
+def test_try_put_try_get():
+    sim = Simulator()
+    chan = Channel(sim, capacity=1)
+    assert chan.try_put(1) is True
+    assert chan.try_put(2) is False  # full
+    ok, value = chan.try_get()
+    assert (ok, value) == (True, 1)
+    ok, value = chan.try_get()
+    assert ok is False
+
+
+def test_level_and_peak_tracking():
+    sim = Simulator()
+    chan = Channel(sim, capacity=8)
+    for i in range(5):
+        chan.try_put(i)
+    assert chan.level == 5
+    assert chan.peak_level == 5
+    chan.try_get()
+    chan.try_get()
+    assert chan.level == 3
+    assert chan.peak_level == 5
+
+
+def test_drain_returns_all_items():
+    sim = Simulator()
+    chan = Channel(sim)
+    for i in range(4):
+        chan.try_put(i)
+    assert chan.drain() == [0, 1, 2, 3]
+    assert chan.is_empty
+
+
+def test_drain_with_blocked_processes_rejected():
+    sim = Simulator()
+    chan = Channel(sim, capacity=1)
+
+    def blocked_putter(sim):
+        yield chan.put("a")
+        yield chan.put("b")
+
+    sim.process(blocked_putter(sim))
+    sim.run(until=1.0)
+    with pytest.raises(SchedulingError):
+        chan.drain()
+
+
+def test_multiple_getters_fifo_order():
+    sim = Simulator()
+    chan = Channel(sim)
+    winners = []
+
+    def getter(sim, tag):
+        value = yield chan.get()
+        winners.append((tag, value))
+
+    def putter(sim):
+        yield sim.timeout(10.0)
+        yield chan.put("x")
+        yield chan.put("y")
+
+    sim.process(getter(sim, "first"))
+    sim.process(getter(sim, "second"))
+    sim.process(putter(sim))
+    sim.run()
+    assert winners == [("first", "x"), ("second", "y")]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    items=st.lists(st.integers(), max_size=64),
+    capacity=st.integers(min_value=1, max_value=8),
+)
+def test_property_conservation_and_order(items, capacity):
+    """Everything put is got, exactly once, in order, for any capacity."""
+    sim = Simulator()
+    chan = Channel(sim, capacity=capacity, name="prop")
+    received = []
+
+    def producer(sim):
+        for item in items:
+            yield chan.put(item)
+
+    def consumer(sim):
+        for _ in items:
+            received.append((yield chan.get()))
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert received == items
+    assert chan.total_put == len(items)
+    assert chan.total_got == len(items)
+    assert chan.peak_level <= capacity
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    items=st.lists(st.integers(), min_size=1, max_size=32),
+    producer_gap=st.floats(min_value=0.0, max_value=20.0),
+    consumer_gap=st.floats(min_value=0.0, max_value=20.0),
+)
+def test_property_order_with_arbitrary_timing(items, producer_gap, consumer_gap):
+    """FIFO order holds regardless of relative producer/consumer speed."""
+    sim = Simulator()
+    chan = Channel(sim, capacity=2)
+    received = []
+
+    def producer(sim):
+        for item in items:
+            yield sim.timeout(producer_gap)
+            yield chan.put(item)
+
+    def consumer(sim):
+        for _ in items:
+            yield sim.timeout(consumer_gap)
+            received.append((yield chan.get()))
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert received == items

@@ -1,0 +1,93 @@
+"""Tests for clock domains."""
+
+import pytest
+
+from repro.sim import ClockDomain, SimulationError, Simulator
+
+
+def test_period_from_frequency():
+    sim = Simulator()
+    clk = ClockDomain(sim, freq_mhz=100.0)
+    assert clk.period_ns == pytest.approx(10.0)
+    assert clk.freq_hz == pytest.approx(100e6)
+
+
+def test_invalid_frequency_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        ClockDomain(sim, freq_mhz=0.0)
+    clk = ClockDomain(sim, freq_mhz=100.0)
+    with pytest.raises(SimulationError):
+        clk.set_frequency(-5.0)
+
+
+def test_wait_cycles_duration():
+    sim = Simulator()
+    clk = ClockDomain(sim, freq_mhz=200.0)  # 5 ns period
+    done = {}
+
+    def proc(sim):
+        yield clk.wait_cycles(10)
+        done["t"] = sim.now
+
+    sim.process(proc(sim))
+    sim.run()
+    assert done["t"] == pytest.approx(50.0)
+
+
+def test_negative_cycles_rejected():
+    sim = Simulator()
+    clk = ClockDomain(sim, freq_mhz=100.0)
+    with pytest.raises(SimulationError):
+        clk.wait_cycles(-1)
+
+
+def test_tick_is_one_cycle():
+    sim = Simulator()
+    clk = ClockDomain(sim, freq_mhz=250.0)
+    done = {}
+
+    def proc(sim):
+        yield clk.tick()
+        done["t"] = sim.now
+
+    sim.process(proc(sim))
+    sim.run()
+    assert done["t"] == pytest.approx(4.0)
+
+
+def test_frequency_change_affects_future_waits():
+    sim = Simulator()
+    clk = ClockDomain(sim, freq_mhz=100.0)
+    marks = []
+
+    def proc(sim):
+        yield clk.wait_cycles(1)           # 10 ns
+        marks.append(sim.now)
+        clk.set_frequency(200.0)
+        yield clk.wait_cycles(1)           # 5 ns
+        marks.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert marks == [pytest.approx(10.0), pytest.approx(15.0)]
+
+
+def test_elapsed_cycles_across_frequency_change():
+    sim = Simulator()
+    clk = ClockDomain(sim, freq_mhz=100.0)
+
+    def proc(sim):
+        yield sim.timeout(100.0)           # 10 cycles @ 100 MHz
+        clk.set_frequency(400.0)
+        yield sim.timeout(100.0)           # 40 cycles @ 400 MHz
+
+    sim.process(proc(sim))
+    sim.run()
+    assert clk.elapsed_cycles == pytest.approx(50.0)
+
+
+def test_cycle_time_conversions_are_inverse():
+    sim = Simulator()
+    clk = ClockDomain(sim, freq_mhz=313.0)
+    assert clk.ns_to_cycles(clk.cycles_to_ns(1234.0)) == pytest.approx(1234.0)

@@ -1,0 +1,98 @@
+"""Property-based tests of kernel scheduling invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+
+@settings(max_examples=80, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=60))
+def test_property_events_fire_in_time_order(delays):
+    """Whatever the creation order, events fire by (time, creation seq)."""
+    sim = Simulator()
+    fired = []
+
+    def waiter(sim, delay, tag):
+        yield sim.timeout(delay)
+        fired.append((sim.now, tag))
+
+    for tag, delay in enumerate(delays):
+        sim.process(waiter(sim, delay, tag))
+    sim.run()
+
+    assert len(fired) == len(delays)
+    times = [t for t, _tag in fired]
+    assert times == sorted(times)
+    # Same-time events preserve creation (FIFO) order.
+    for (t1, tag1), (t2, tag2) in zip(fired, fired[1:]):
+        if t1 == t2:
+            assert tag1 < tag2
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.1, max_value=1000.0), min_size=2, max_size=30
+    )
+)
+def test_property_time_never_runs_backwards(delays):
+    sim = Simulator()
+    observed = []
+
+    def chain(sim):
+        for delay in delays:
+            yield sim.timeout(delay)
+            observed.append(sim.now)
+
+    sim.process(chain(sim))
+    sim.run()
+    assert observed == sorted(observed)
+    assert sim.now == observed[-1]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n_processes=st.integers(min_value=1, max_value=20),
+    n_steps=st.integers(min_value=1, max_value=10),
+)
+def test_property_all_processes_complete(n_processes, n_steps):
+    """No process is ever lost: every started process reaches its end."""
+    sim = Simulator()
+    completed = []
+
+    def worker(sim, tag):
+        for step in range(n_steps):
+            yield sim.timeout(float((tag * 7 + step * 3) % 11) + 0.5)
+        completed.append(tag)
+
+    for tag in range(n_processes):
+        sim.process(worker(sim, tag))
+    sim.run()
+    assert sorted(completed) == list(range(n_processes))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_runs_are_reproducible(seed):
+    """Two identical simulations produce identical event traces."""
+
+    def run():
+        sim = Simulator()
+        trace = []
+
+        def worker(sim, tag):
+            state = (seed + tag) or 1
+            for _ in range(5):
+                state = (state * 1103515245 + 12345) % (2**31)
+                yield sim.timeout(float(state % 1000) / 7.0)
+                trace.append((round(sim.now, 9), tag))
+
+        for tag in range(5):
+            sim.process(worker(sim, tag))
+        sim.run()
+        return trace
+
+    assert run() == run()

@@ -1,0 +1,175 @@
+"""Tests for signals and interrupt lines."""
+
+from repro.sim import InterruptLine, Signal, Simulator
+
+
+def test_signal_initial_value():
+    sim = Simulator()
+    signal = Signal(sim, initial=3)
+    assert signal.value == 3
+
+
+def test_set_same_value_is_noop():
+    sim = Simulator()
+    signal = Signal(sim, initial="a")
+    changes = []
+    signal.watch(lambda old, new: changes.append((old, new)))
+    signal.set("a")
+    assert changes == []
+    signal.set("b")
+    assert changes == [("a", "b")]
+
+
+def test_wait_for_value():
+    sim = Simulator()
+    signal = Signal(sim, initial=0, name="state")
+    seen = {}
+
+    def waiter(sim):
+        value = yield signal.wait_for(2)
+        seen["t"] = sim.now
+        seen["v"] = value
+
+    def driver(sim):
+        yield sim.timeout(5.0)
+        signal.set(1)
+        yield sim.timeout(5.0)
+        signal.set(2)
+
+    sim.process(waiter(sim))
+    sim.process(driver(sim))
+    sim.run()
+    assert seen == {"t": 10.0, "v": 2}
+
+
+def test_wait_for_already_satisfied():
+    sim = Simulator()
+    signal = Signal(sim, initial="ready")
+    seen = {}
+
+    def waiter(sim):
+        yield signal.wait_for("ready")
+        seen["t"] = sim.now
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert seen["t"] == 0.0
+
+
+def test_wait_change_fires_once():
+    sim = Simulator()
+    signal = Signal(sim, initial=0)
+    seen = []
+
+    def waiter(sim):
+        value = yield signal.wait_change()
+        seen.append(value)
+
+    def driver(sim):
+        yield sim.timeout(1.0)
+        signal.set(10)
+        signal.set(20)
+
+    sim.process(waiter(sim))
+    sim.process(driver(sim))
+    sim.run()
+    assert seen == [10]
+
+
+def test_wait_until_predicate():
+    sim = Simulator()
+    signal = Signal(sim, initial=0)
+    seen = {}
+
+    def waiter(sim):
+        value = yield signal.wait_until(lambda v: v >= 5)
+        seen["v"] = value
+
+    def driver(sim):
+        for v in (1, 3, 5):
+            yield sim.timeout(1.0)
+            signal.set(v)
+
+    sim.process(waiter(sim))
+    sim.process(driver(sim))
+    sim.run()
+    assert seen["v"] == 5
+
+
+def test_watch_and_unwatch():
+    sim = Simulator()
+    signal = Signal(sim, initial=0)
+    hits = []
+    watcher = lambda old, new: hits.append(new)  # noqa: E731
+    signal.watch(watcher)
+    signal.set(1)
+    signal.unwatch(watcher)
+    signal.set(2)
+    assert hits == [1]
+
+
+def test_history_records_changes():
+    sim = Simulator()
+    signal = Signal(sim, initial=0)
+    signal.set(1)
+    signal.set(2)
+    assert [v for _, v in signal.history] == [0, 1, 2]
+
+
+def test_interrupt_line_assert_deassert():
+    sim = Simulator()
+    irq = InterruptLine(sim, name="crc_err")
+    assert not irq.asserted
+    irq.assert_()
+    assert irq.asserted
+    assert irq.assert_count == 1
+    irq.assert_()  # already high: no new edge
+    assert irq.assert_count == 1
+    irq.deassert()
+    irq.assert_()
+    assert irq.assert_count == 2
+
+
+def test_interrupt_wait_assert_is_edge_triggered():
+    sim = Simulator()
+    irq = InterruptLine(sim)
+    irq.assert_()  # already high before the wait
+
+    seen = {}
+
+    def waiter(sim):
+        yield irq.wait_assert()
+        seen["t"] = sim.now
+
+    def driver(sim):
+        yield sim.timeout(3.0)
+        irq.deassert()
+        yield sim.timeout(3.0)
+        irq.assert_()
+
+    sim.process(waiter(sim))
+    sim.process(driver(sim))
+    sim.run()
+    # The pre-existing high level must NOT satisfy the wait; only the new edge.
+    assert seen["t"] == 6.0
+
+
+def test_interrupt_pulse_wakes_waiter():
+    sim = Simulator()
+    irq = InterruptLine(sim)
+    seen = {}
+
+    def waiter(sim):
+        yield irq.wait_assert()
+        seen["t"] = sim.now
+
+    def driver(sim):
+        yield sim.timeout(2.0)
+        irq.pulse()
+
+    sim.process(waiter(sim))
+    sim.process(driver(sim))
+    sim.run()
+    assert seen["t"] == 2.0
+    assert not irq.asserted
+    assert irq.last_assert_ns == 2.0

@@ -1,0 +1,52 @@
+"""Tests for the trace sink."""
+
+from repro.sim import TraceRecord, Tracer
+
+
+def test_emit_and_filter():
+    tracer = Tracer()
+    tracer.emit(100.0, "dma", "burst 0 issued")
+    tracer.emit(200.0, "icap", "frame committed")
+    tracer.emit(300.0, "dma", "burst 1 issued")
+    assert len(tracer) == 3
+    assert [r.message for r in tracer.filter(source="dma")] == [
+        "burst 0 issued",
+        "burst 1 issued",
+    ]
+    assert len(tracer.filter(contains="frame")) == 1
+    assert list(tracer.sources()) == ["dma", "icap"]
+
+
+def test_ring_buffer_drops_oldest():
+    tracer = Tracer(limit=3)
+    for i in range(5):
+        tracer.emit(float(i), "s", f"m{i}")
+    assert len(tracer) == 3
+    assert tracer.dropped == 2
+    assert [r.message for r in tracer.records] == ["m2", "m3", "m4"]
+
+
+def test_disable_and_clear():
+    tracer = Tracer()
+    tracer.emit(1.0, "a", "kept")
+    tracer.enabled = False
+    tracer.emit(2.0, "a", "ignored")
+    assert len(tracer) == 1
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_echo_callback():
+    echoed = []
+    tracer = Tracer(echo=echoed.append)
+    tracer.emit(5.0, "x", "hello")
+    assert len(echoed) == 1
+    assert isinstance(echoed[0], TraceRecord)
+
+
+def test_record_rendering():
+    record = TraceRecord(1500.0, "icap", "desync")
+    text = str(record)
+    assert "icap" in text
+    assert "desync" in text
+    assert "1.500us" in text.replace(" ", "")
