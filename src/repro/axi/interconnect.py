@@ -10,9 +10,10 @@ first-come-starves-the-rest.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..dram import DramController
+from ..obs import MetricsRegistry
 from ..sim import Event, Simulator
 
 __all__ = ["AxiInterconnect"]
@@ -29,6 +30,7 @@ class AxiInterconnect:
         controller: DramController,
         forward_latency_ns: float = 160.0,
         name: str = "axi_ic",
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if forward_latency_ns < 0:
             raise ValueError("forward latency cannot be negative")
@@ -43,18 +45,24 @@ class AxiInterconnect:
         self._wakeup: Event = sim.event(name=f"{name}.wake")
         self.transactions = 0
         self.per_master_transactions: Dict[str, int] = {}
+        self.metrics = metrics if metrics is not None else MetricsRegistry(now_fn=lambda: sim.now)
+        self._m_transactions = self.metrics.counter(f"{name}.transactions")
+        self._m_bytes = self.metrics.counter(f"{name}.bytes")
+        self._m_outstanding = self.metrics.gauge(f"{name}.outstanding_requests")
+        self._m_queue_wait_us = self.metrics.histogram(f"{name}.queue_wait_us")
+        self._m_outstanding.set(0.0)
         sim.process(self._arbiter(), name=f"{name}.arbiter", daemon=True)
 
     # -- master API ----------------------------------------------------------
     def read(self, addr: int, size: int, master: str = _DEFAULT_MASTER) -> Event:
         """Submit a read; the event value is the data bytes."""
         done = self.sim.event(name=f"{self.name}.read")
-        self._submit(master, ("r", addr, size, None, done))
+        self._submit(master, ("r", addr, size, None, done, self.sim.now))
         return done
 
     def write(self, addr: int, data: bytes, master: str = _DEFAULT_MASTER) -> Event:
         done = self.sim.event(name=f"{self.name}.write")
-        self._submit(master, ("w", addr, len(data), data, done))
+        self._submit(master, ("w", addr, len(data), data, done, self.sim.now))
         return done
 
     # -- internals ----------------------------------------------------------
@@ -65,6 +73,7 @@ class AxiInterconnect:
             self.per_master_transactions[master] = 0
         self._queues[master].append(request)
         self._pending += 1
+        self._m_outstanding.add(1)
         if not self._wakeup.triggered:
             self._wakeup.succeed()
 
@@ -86,9 +95,12 @@ class AxiInterconnect:
             if self._pending == 0:
                 self._wakeup = self.sim.event(name=f"{self.name}.wake")
                 yield self._wakeup
-            kind, addr, size, data, done = self._next_request()
+            kind, addr, size, data, done, submitted_ns = self._next_request()
             self._pending -= 1
             self.transactions += 1
+            self._m_transactions.inc()
+            self._m_bytes.inc(size)
+            self._m_queue_wait_us.observe((self.sim.now - submitted_ns) / 1e3)
             # Forward path: address decode + arbitration + register slices.
             yield self.sim.timeout(self.forward_latency_ns)
             if kind == "r":
@@ -97,3 +109,4 @@ class AxiInterconnect:
             else:
                 yield self.controller.write(addr, data)
                 done.succeed(None)
+            self._m_outstanding.add(-1)

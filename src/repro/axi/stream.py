@@ -11,8 +11,9 @@ the producer (the memory-side read engine), and vice versa.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
+from ..obs import MetricsRegistry
 from ..sim import Channel, Event, Simulator
 
 __all__ = ["StreamBurst", "AxiStream"]
@@ -36,7 +37,13 @@ class AxiStream:
 
     WORD_BYTES = 4
 
-    def __init__(self, sim: Simulator, fifo_words: int = 1024, name: str = "axis"):
+    def __init__(
+        self,
+        sim: Simulator,
+        fifo_words: int = 1024,
+        name: str = "axis",
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         if fifo_words < 1:
             raise ValueError("stream FIFO must hold at least one word")
         self.sim = sim
@@ -44,8 +51,15 @@ class AxiStream:
         self.fifo_words = fifo_words
         self._bursts: Channel = Channel(sim, name=f"{name}.bursts")
         self._free_words = fifo_words
-        self._space_waiters: List[Tuple[int, Event]] = []
+        self._space_waiters: List[Tuple[int, Event, float]] = []
         self.total_words = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry(now_fn=lambda: sim.now)
+        self._m_occupancy = self.metrics.gauge(f"{name}.occupancy_words")
+        self._m_depth = self.metrics.histogram(f"{name}.fifo_depth_words")
+        self._m_stalls = self.metrics.counter(f"{name}.backpressure_stalls")
+        self._m_stall_ns = self.metrics.counter(f"{name}.backpressure_ns")
+        self._m_words = self.metrics.counter(f"{name}.words_total")
+        self._m_occupancy.set(0.0)
 
     # -- producer side ---------------------------------------------------------
     def reserve(self, words: int) -> Event:
@@ -57,14 +71,18 @@ class AxiStream:
         event = self.sim.event(name=f"{self.name}.reserve")
         if self._free_words >= words and not self._space_waiters:
             self._free_words -= words
+            self._m_occupancy.set(self.fifo_words - self._free_words)
             event.succeed()
         else:
-            self._space_waiters.append((words, event))
+            self._m_stalls.inc()
+            self._space_waiters.append((words, event, self.sim.now))
         return event
 
     def push(self, burst: StreamBurst) -> None:
         """Enqueue a burst whose space was previously reserved."""
         self.total_words += len(burst.words)
+        self._m_words.inc(len(burst.words))
+        self._m_depth.observe(self.fifo_words - self._free_words)
         self._bursts.try_put(burst)
 
     # -- consumer side ---------------------------------------------------------
@@ -78,12 +96,14 @@ class AxiStream:
         if self._free_words > self.fifo_words:
             raise AssertionError(f"{self.name}: released more words than consumed")
         while self._space_waiters:
-            need, event = self._space_waiters[0]
+            need, event, waited_since_ns = self._space_waiters[0]
             if self._free_words < need:
                 break
             self._space_waiters.pop(0)
             self._free_words -= need
+            self._m_stall_ns.inc(self.sim.now - waited_since_ns)
             event.succeed()
+        self._m_occupancy.set(self.fifo_words - self._free_words)
 
     # -- inspection ---------------------------------------------------------------
     @property

@@ -5,7 +5,7 @@ from .governor import ActiveFeedbackGovernor, GovernedReconfig
 from .hll import AspRequest, HllFramework, JobResult
 from .library import BitstreamLibrary, LibraryEntry
 from .pdr_system import TABLE1_BITSTREAM_BYTES, PdrSystem, PdrSystemConfig
-from .results import BatchReconfigResult, ReconfigResult
+from .results import PHASES, TIMED_PHASES, BatchReconfigResult, ReconfigResult
 from .rp_channel import RpDataChannel
 from .rp_regs import RpControlInterface
 
@@ -18,9 +18,11 @@ __all__ = [
     "HllFramework",
     "JobResult",
     "LibraryEntry",
+    "PHASES",
     "PdrSystem",
     "PdrSystemConfig",
     "ReconfigResult",
+    "TIMED_PHASES",
     "RpControlInterface",
     "RpDataChannel",
     "TABLE1_BITSTREAM_BYTES",

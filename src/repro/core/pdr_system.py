@@ -39,6 +39,7 @@ from ..dma import (
 from ..dram import DramController, DramDevice
 from ..fabric import Asp, ConfigMemory, RpRegion, encode_asp_frames
 from ..icap import IcapController
+from ..obs import TELEMETRY_BOOK, MetricsRegistry, SpanRecorder
 from ..power import CurrentSense, PowerModel, PowerModelParams
 from ..ps import GlobalTimer, InterruptController, Pcap
 from ..sim import ClockDomain, Simulator, Tracer
@@ -99,6 +100,10 @@ class PdrSystem:
         self.sim = Simulator()
         sim = self.sim
 
+        #: Shared telemetry: every component namespaces its counters,
+        #: gauges and histograms into this registry (``component.metric``).
+        self.metrics = MetricsRegistry(now_fn=lambda: sim.now, name="pdr_system")
+
         # ---- fabric ---------------------------------------------------------
         self.layout = make_z7020_layout()
         self.memory = ConfigMemory(self.layout)
@@ -109,8 +114,10 @@ class PdrSystem:
 
         # ---- PS memory system ---------------------------------------------
         self.dram = DramDevice()
-        self.dram_controller = DramController(sim, self.dram)
-        self.interconnect = AxiInterconnect(sim, self.dram_controller)
+        self.dram_controller = DramController(sim, self.dram, metrics=self.metrics)
+        self.interconnect = AxiInterconnect(
+            sim, self.dram_controller, metrics=self.metrics
+        )
         self.hp0 = AxiHpPort(sim, self.interconnect, name="hp0")
 
         # ---- over-clock domain + transfer path ------------------------------
@@ -119,7 +126,10 @@ class PdrSystem:
         )
         self.clock_wizard = ClockWizard(sim, self.overclock, name="clk_wiz")
         self.stream = AxiStream(
-            sim, fifo_words=self.config.stream_fifo_words, name="dma2icap"
+            sim,
+            fifo_words=self.config.stream_fifo_words,
+            name="dma2icap",
+            metrics=self.metrics,
         )
         self.dma = AxiDmaEngine(
             sim,
@@ -128,10 +138,17 @@ class PdrSystem:
             self.stream,
             max_burst_bytes=self.config.dma_burst_bytes,
             cmd_overhead_cycles=self.config.dma_cmd_overhead_cycles,
+            metrics=self.metrics,
         )
-        self.icap = IcapController(sim, self.overclock, self.memory, self.stream)
+        self.icap = IcapController(
+            sim, self.overclock, self.memory, self.stream, metrics=self.metrics
+        )
         self.scrubber = CrcScrubber(
-            sim, self.overclock, self.memory, busy_gate=self.icap.busy
+            sim,
+            self.overclock,
+            self.memory,
+            busy_gate=self.icap.busy,
+            metrics=self.metrics,
         )
 
         # ---- PS software-visible blocks --------------------------------------
@@ -174,6 +191,21 @@ class PdrSystem:
         self._bitstream_cache: Dict[tuple, Bitstream] = {}
         self._staged_addrs: Dict[int, int] = {}
         self.results: List[ReconfigResult] = []
+
+        # ---- telemetry: probes, bench series, firmware counters -------------
+        metrics = self.metrics
+        metrics.probe("sim.events_processed", lambda: sim.events_processed)
+        metrics.probe("sim.heap_high_water", lambda: sim.heap_high_water)
+        metrics.probe("sim.processes_spawned", lambda: sim.processes_spawned)
+        metrics.probe("overclock.freq_mhz", lambda: self.overclock.freq_mhz)
+        metrics.probe("bench.die_temp_c", lambda: self.thermal.temperature_c)
+        self._temp_series = metrics.series("bench.temp_c")
+        self._power_series = metrics.series("bench.board_power_w")
+        self._m_reconfigures = metrics.counter("fw.reconfigures")
+        self._m_irq_timeouts = metrics.counter("fw.irq_timeouts")
+        self._m_latency_us = metrics.histogram("fw.latency_us")
+        TELEMETRY_BOOK.register(metrics, "pdr_system")
+        TELEMETRY_BOOK.register_tracer(self.trace, "pdr_system")
 
     # ------------------------------------------------------------------ bench --
     def set_die_temperature(self, temp_c: float) -> None:
@@ -349,75 +381,103 @@ class PdrSystem:
 
     # ---------------------------------------------------------------- firmware --
     def _firmware_sequence(self, region, bitstream, addr, freq_mhz):
-        """The paper's C test program, as a simulation process."""
+        """The paper's C test program, as a simulation process.
+
+        Every firmware phase runs inside a :class:`SpanRecorder` span, so
+        the returned :class:`ReconfigResult` carries a per-phase latency
+        breakdown and the registry accumulates ``fw.phase.*_us``
+        histograms across reconfigurations.
+        """
         config = self.config
-
-        # 1. Program the Clock Wizard and wait for MMCM lock.
-        achieved = yield self.clock_wizard.program(freq_mhz)
-        self.trace.emit(
-            self.sim.now, "fw", f"clock locked at {achieved:g} MHz for {region}"
+        spans = SpanRecorder(
+            now_fn=lambda: self.sim.now,
+            tracer=self.trace,
+            source="fw",
+            metrics=self.metrics,
+            metrics_prefix="fw.phase.",
         )
+        self._m_reconfigures.inc()
 
-        # 2. Ask the "silicon" what breaks at this operating point.
-        temp_c = self.thermal.temperature_c
-        failure_modes = []
-        control_ok = self.timing.ok(PDR_CONTROL_PATH, achieved, temp_c)
-        data_ok = self.timing.ok(PDR_DATA_PATH, achieved, temp_c)
-        self.dma.suppress_completion_irq = not control_ok
-        if not control_ok:
-            failure_modes.append(FailureMode.CONTROL_HANG)
-        if not data_ok:
-            fmax = self.timing.path(PDR_DATA_PATH).fmax_mhz(temp_c)
-            self.icap.word_corruptor = make_word_corruptor(achieved, fmax, temp_c)
-            failure_modes.append(FailureMode.DATA_CORRUPT)
-        else:
-            self.icap.word_corruptor = None
+        with spans.span("reconfigure", region=region, freq_mhz=freq_mhz):
+            # 1. Program the Clock Wizard and wait for MMCM lock.
+            with spans.span("clock_lock"):
+                achieved = yield self.clock_wizard.program(freq_mhz)
+            self.trace.emit(
+                self.sim.now, "fw", f"clock locked at {achieved:g} MHz for {region}"
+            )
+            self._temp_series.sample(self.thermal.temperature_c)
 
-        # 3. Timestamp, then driver setup: the paper's C-timer wraps the
-        #    whole transfer call, cache maintenance included.
-        start_ticks = self.timer.read_ticks()
-        yield self.sim.timeout(config.firmware_setup_us * 1e3)
+            # 2. Ask the "silicon" what breaks at this operating point.
+            temp_c = self.thermal.temperature_c
+            failure_modes = []
+            control_ok = self.timing.ok(PDR_CONTROL_PATH, achieved, temp_c)
+            data_ok = self.timing.ok(PDR_DATA_PATH, achieved, temp_c)
+            self.dma.suppress_completion_irq = not control_ok
+            if not control_ok:
+                failure_modes.append(FailureMode.CONTROL_HANG)
+            if not data_ok:
+                fmax = self.timing.path(PDR_DATA_PATH).fmax_mhz(temp_c)
+                self.icap.word_corruptor = make_word_corruptor(achieved, fmax, temp_c)
+                failure_modes.append(FailureMode.DATA_CORRUPT)
+            else:
+                self.icap.word_corruptor = None
 
-        # 4. Arm the ICAP and start the DMA.
-        self.icap.begin_transfer()
-        self.dma.reg_write(MM2S_DMACR, DMACR_RS | DMACR_IOC_IRQ_EN)
-        self.dma.reg_write(MM2S_SA, addr)
-        self.dma.reg_write(MM2S_LENGTH, bitstream.size_bytes)
+            # 3. Timestamp, then driver setup: the paper's C-timer wraps the
+            #    whole transfer call, cache maintenance included.
+            start_ticks = self.timer.read_ticks()
+            with spans.span("driver_setup"):
+                yield self.sim.timeout(config.firmware_setup_us * 1e3)
 
-        # 5. Wait for the completion interrupt (or give up).
-        irq_event = self.dma.ioc_irq.wait_assert()
-        timeout_event = self.sim.timeout(config.irq_timeout_us * 1e3)
-        fired = yield self.sim.any_of([irq_event, timeout_event])
-        interrupt_seen = irq_event in fired
-        self.trace.emit(
-            self.sim.now,
-            "fw",
-            "completion interrupt received" if interrupt_seen
-            else "TIMEOUT waiting for completion interrupt",
-        )
-        latency_us: Optional[float] = None
-        if interrupt_seen:
-            latency_us = self.timer.elapsed_us(start_ticks)
-            self.dma.reg_write(MM2S_DMASR, DMASR_IOC_IRQ)  # ack (W1C)
-        # Let the ICAP finish draining whatever the DMA pushed.
-        yield self.icap.busy.wait_for(False)
-        yield self.overclock.wait_cycles(16)
+            with spans.span("dma_transfer"):
+                # 4. Arm the ICAP and start the DMA.
+                self.icap.begin_transfer()
+                self.dma.reg_write(MM2S_DMACR, DMACR_RS | DMACR_IOC_IRQ_EN)
+                self.dma.reg_write(MM2S_SA, addr)
+                self.dma.reg_write(MM2S_LENGTH, bitstream.size_bytes)
 
-        # 6. Read-back CRC check of the freshly configured region.
-        self.scrubber.set_expected_crc(region, bitstream.meta["region_crc"])
-        scrub = yield self.sim.process(
-            self.scrubber.scrub_region_once(region), name="fw.scrub"
-        )
-        crc_valid = scrub.ok
-        self.trace.emit(
-            self.sim.now,
-            "fw",
-            f"read-back CRC for {region}: {'valid' if crc_valid else 'NOT VALID'}",
-        )
+                # 5. Wait for the completion interrupt (or give up).
+                irq_event = self.dma.ioc_irq.wait_assert()
+                timeout_event = self.sim.timeout(config.irq_timeout_us * 1e3)
+                fired = yield self.sim.any_of([irq_event, timeout_event])
+                interrupt_seen = irq_event in fired
+                self.trace.emit(
+                    self.sim.now,
+                    "fw",
+                    "completion interrupt received" if interrupt_seen
+                    else "TIMEOUT waiting for completion interrupt",
+                )
+                latency_us: Optional[float] = None
+                if interrupt_seen:
+                    latency_us = self.timer.elapsed_us(start_ticks)
+                    self.dma.reg_write(MM2S_DMASR, DMASR_IOC_IRQ)  # ack (W1C)
+            if interrupt_seen:
+                self._m_latency_us.observe(latency_us)
+            else:
+                self._m_irq_timeouts.inc()
 
-        # 7. Report on the OLED, sample power, return the record.
-        board_power = self.current_sense.read_board_power_w()
-        pdr_power = board_power - self.power_model.params.p0_board_w
+            # Let the ICAP finish draining whatever the DMA pushed.
+            with spans.span("icap_drain"):
+                yield self.icap.busy.wait_for(False)
+                yield self.overclock.wait_cycles(16)
+
+            # 6. Read-back CRC check of the freshly configured region.
+            with spans.span("scrub"):
+                self.scrubber.set_expected_crc(region, bitstream.meta["region_crc"])
+                scrub = yield self.sim.process(
+                    self.scrubber.scrub_region_once(region), name="fw.scrub"
+                )
+            crc_valid = scrub.ok
+            self.trace.emit(
+                self.sim.now,
+                "fw",
+                f"read-back CRC for {region}: {'valid' if crc_valid else 'NOT VALID'}",
+            )
+
+            # 7. Report on the OLED, sample power, return the record.
+            board_power = self.current_sense.read_board_power_w()
+            pdr_power = board_power - self.power_model.params.p0_board_w
+            self._power_series.sample(board_power)
+            self._temp_series.sample(self.thermal.temperature_c)
         result = ReconfigResult(
             region=region,
             requested_freq_mhz=freq_mhz,
@@ -430,6 +490,7 @@ class PdrSystem:
             pdr_power_w=pdr_power,
             board_power_w=board_power,
             failure_modes=failure_modes,
+            phase_us=spans.breakdown_us(parent="reconfigure"),
         )
         self._update_oled(result)
         return result

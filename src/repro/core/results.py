@@ -3,9 +3,18 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-__all__ = ["BatchReconfigResult", "ReconfigResult"]
+__all__ = ["BatchReconfigResult", "PHASES", "ReconfigResult", "TIMED_PHASES"]
+
+#: Canonical firmware phase order (matches the spans recorded by
+#: :meth:`repro.core.pdr_system.PdrSystem._firmware_sequence`).
+PHASES = ("clock_lock", "driver_setup", "dma_transfer", "icap_drain", "scrub")
+
+#: Phases inside the paper's C-timer window: the timer starts right
+#: before driver setup and stops when the completion interrupt arrives,
+#: so these (and only these) must sum to ``latency_us``.
+TIMED_PHASES = ("driver_setup", "dma_transfer")
 
 
 @dataclass
@@ -29,6 +38,10 @@ class ReconfigResult:
     pdr_power_w: float = 0.0
     board_power_w: float = 0.0
     failure_modes: List[str] = field(default_factory=list)
+    #: Per-phase latency breakdown (phase name -> µs), recorded as spans
+    #: by the firmware sequence.  See :data:`PHASES` for the order and
+    #: :data:`TIMED_PHASES` for the subset covered by ``latency_us``.
+    phase_us: Dict[str, float] = field(default_factory=dict)
 
     @property
     def throughput_mb_s(self) -> Optional[float]:
@@ -56,6 +69,25 @@ class ReconfigResult:
     def succeeded(self) -> bool:
         """Full success: interrupt arrived and read-back CRC matches."""
         return self.interrupt_seen and self.crc_valid
+
+    @property
+    def timed_phase_sum_us(self) -> Optional[float]:
+        """Sum of the phases inside the C-timer window.
+
+        Equals ``latency_us`` (to float rounding) when the transfer
+        completed — the invariant the observability tests assert.
+        """
+        if not any(name in self.phase_us for name in TIMED_PHASES):
+            return None
+        return sum(self.phase_us.get(name, 0.0) for name in TIMED_PHASES)
+
+    def phase_breakdown(self) -> str:
+        """One-line human-readable rendering of the phase spans."""
+        if not self.phase_us:
+            return "no phase data"
+        ordered = [name for name in PHASES if name in self.phase_us]
+        ordered += [name for name in self.phase_us if name not in PHASES]
+        return ", ".join(f"{name} {self.phase_us[name]:.1f}us" for name in ordered)
 
     def summary(self) -> str:
         latency = (

@@ -23,6 +23,7 @@ from ..bitstream.crc import crc32c_words
 from ..bitstream.device import FRAME_WORDS
 from ..fabric.config_memory import ConfigMemory
 from ..icap.primitive import ConfigPort
+from ..obs import MetricsRegistry
 from ..sim import ClockDomain, InterruptLine, Signal, Simulator
 
 __all__ = ["CrcScrubber", "ScrubResult"]
@@ -59,11 +60,17 @@ class CrcScrubber:
         memory: ConfigMemory,
         busy_gate: Optional[Signal] = None,
         name: str = "crc_scrub",
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.sim = sim
         self.clock = clock
         self.memory = memory
         self.name = name
+        self.metrics = metrics if metrics is not None else MetricsRegistry(now_fn=lambda: sim.now)
+        self._m_passes = self.metrics.counter(f"{name}.scrubs_run")
+        self._m_mismatches = self.metrics.counter(f"{name}.mismatches")
+        self._m_words = self.metrics.counter(f"{name}.words_read")
+        self._m_pass_us = self.metrics.histogram(f"{name}.pass_us")
         #: The block's own read-back port into the configuration logic
         #: (Fig. 2: the CRC block reads the bitstream back itself).
         self.readback = ConfigPort(memory)
@@ -125,6 +132,7 @@ class CrcScrubber:
         layout = self.memory.layout
         first_index = layout.frame_index(layout.region_frames(region)[0])
         frame_count = layout.region_frame_count(region)
+        pass_started_ns = self.sim.now
         batch = 32
         read = 0
         words = []
@@ -147,8 +155,12 @@ class CrcScrubber:
         )
         self.last_result = result
         self.passes_completed += 1
+        self._m_passes.inc()
+        self._m_words.inc(len(words))
+        self._m_pass_us.observe((self.sim.now - pass_started_ns) / 1e3)
         if not result.ok:
             self.errors_detected += 1
+            self._m_mismatches.inc()
             self.error_irq.assert_()
         self.pass_done.set(True)
         self.pass_done.set(False)

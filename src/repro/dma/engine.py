@@ -24,6 +24,7 @@ from typing import Optional
 
 from ..axi.ports import AxiHpPort
 from ..axi.stream import AxiStream, StreamBurst
+from ..obs import MetricsRegistry
 from ..sim import ClockDomain, InterruptLine, Simulator
 
 from .registers import (
@@ -60,6 +61,7 @@ class AxiDmaEngine:
         name: str = "dma",
         max_burst_bytes: int = MAX_BURST_BYTES,
         cmd_overhead_cycles: int = CMD_OVERHEAD_CYCLES,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if max_burst_bytes < 4 or max_burst_bytes % 4:
             raise ValueError("burst size must be a positive multiple of 4 bytes")
@@ -72,6 +74,13 @@ class AxiDmaEngine:
         self.name = name
         self.max_burst_bytes = max_burst_bytes
         self.cmd_overhead_cycles = cmd_overhead_cycles
+        self.metrics = metrics if metrics is not None else MetricsRegistry(now_fn=lambda: sim.now)
+        self._m_bursts = self.metrics.counter(f"{name}.bursts_issued")
+        self._m_bytes = self.metrics.counter(f"{name}.bytes_moved")
+        self._m_cmd_cycles = self.metrics.counter(f"{name}.cmd_overhead_cycles")
+        self._m_transfers = self.metrics.counter(f"{name}.transfers_completed")
+        self._m_transfer_us = self.metrics.histogram(f"{name}.transfer_us")
+        self._m_mb_s = self.metrics.histogram(f"{name}.achieved_mb_s")
         #: Completion interrupt (IOC).  The PDR system may replace
         #: :meth:`_raise_ioc` behaviour via ``suppress_completion_irq`` to
         #: model a control-path timing failure.
@@ -143,6 +152,7 @@ class AxiDmaEngine:
         )
 
     def _run(self, addr: int, length: int):
+        started_ns = self.sim.now
         remaining = length
         cursor = addr
         while remaining:
@@ -152,6 +162,7 @@ class AxiDmaEngine:
             # Command issue overhead is paid in the over-clocked domain:
             # faster clock, smaller gap — until the memory path dominates.
             yield self.clock.wait_cycles(self.cmd_overhead_cycles)
+            self._m_cmd_cycles.inc(self.cmd_overhead_cycles)
             data = yield self.port.read(cursor, burst_bytes)
             words = list(struct.unpack(f">{len(data) // 4}I", data))
             is_last = remaining == burst_bytes
@@ -159,6 +170,8 @@ class AxiDmaEngine:
             cursor += burst_bytes
             remaining -= burst_bytes
             self.bytes_moved += burst_bytes
+            self._m_bursts.inc()
+            self._m_bytes.inc(burst_bytes)
 
         # Completion means the stream slave accepted the last beat: wait
         # for the FIFO to drain fully before declaring the transfer done.
@@ -167,6 +180,11 @@ class AxiDmaEngine:
 
         self._status |= DMASR_IDLE
         self.transfers_completed += 1
+        self._m_transfers.inc()
+        duration_us = (self.sim.now - started_ns) / 1e3
+        self._m_transfer_us.observe(duration_us)
+        if duration_us > 0:
+            self._m_mb_s.observe(length / duration_us)  # B/us == MB/s
         if (self._control & DMACR_IOC_IRQ_EN) and not self.suppress_completion_irq:
             self._status |= DMASR_IOC_IRQ
             self.ioc_irq.assert_()

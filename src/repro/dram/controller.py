@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..obs import MetricsRegistry
 from ..sim import Channel, Event, Simulator
 
 from .device import DramDevice
@@ -29,12 +30,20 @@ class MemoryRequest:
     #: Filled by the controller for reads.
     read_data: Optional[bytes] = field(default=None, repr=False)
     done: Optional[Event] = None
+    #: Submission time, for queue-wait accounting.
+    submitted_ns: float = 0.0
 
 
 class DramController:
     """FIFO-serving DDR controller process."""
 
-    def __init__(self, sim: Simulator, device: Optional[DramDevice] = None, name: str = "ddrc"):
+    def __init__(
+        self,
+        sim: Simulator,
+        device: Optional[DramDevice] = None,
+        name: str = "ddrc",
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.sim = sim
         self.device = device or DramDevice()
         self.name = name
@@ -44,21 +53,38 @@ class DramController:
         self.bytes_written = 0
         self.busy_ns = 0.0
         self._last_refresh_ns = 0.0
+        self.metrics = metrics if metrics is not None else MetricsRegistry(now_fn=lambda: sim.now)
+        self._m_requests = self.metrics.counter(f"{name}.requests_served")
+        self._m_bytes_read = self.metrics.counter(f"{name}.bytes_read")
+        self._m_bytes_written = self.metrics.counter(f"{name}.bytes_written")
+        self._m_queue_depth = self.metrics.gauge(f"{name}.queue_depth")
+        self._m_queue_wait_us = self.metrics.histogram(f"{name}.queue_wait_us")
+        self._m_service_us = self.metrics.histogram(f"{name}.service_us")
+        self._m_queue_depth.set(0.0)
         sim.process(self._serve(), name=f"{name}.server", daemon=True)
 
     # -- master-facing API ----------------------------------------------------
     def read(self, addr: int, size: int) -> Event:
         """Submit a read burst; the event's value is the data bytes."""
-        request = MemoryRequest(addr=addr, size=size, done=self.sim.event())
+        request = MemoryRequest(
+            addr=addr, size=size, done=self.sim.event(), submitted_ns=self.sim.now
+        )
         self._queue.try_put(request)
+        self._m_queue_depth.set(self._queue.level)
         return request.done
 
     def write(self, addr: int, data: bytes) -> Event:
         """Submit a write burst; the event fires when committed."""
         request = MemoryRequest(
-            addr=addr, size=len(data), is_write=True, data=data, done=self.sim.event()
+            addr=addr,
+            size=len(data),
+            is_write=True,
+            data=data,
+            done=self.sim.event(),
+            submitted_ns=self.sim.now,
         )
         self._queue.try_put(request)
+        self._m_queue_depth.set(self._queue.level)
         return request.done
 
     @property
@@ -71,6 +97,8 @@ class DramController:
         while True:
             request = yield self._queue.get()
             started = self.sim.now
+            self._m_queue_depth.set(self._queue.level)
+            self._m_queue_wait_us.observe((started - request.submitted_ns) / 1e3)
             # Refresh stalls: one tRFC-ish stall per elapsed tREFI.
             # Refreshes that fell in an idle period already completed and
             # cost nothing; at most one can collide with this request.
@@ -88,9 +116,13 @@ class DramController:
                 assert request.data is not None
                 self.device.store(request.addr, request.data)
                 self.bytes_written += request.size
+                self._m_bytes_written.inc(request.size)
             else:
                 request.read_data = self.device.load(request.addr, request.size)
                 self.bytes_read += request.size
+                self._m_bytes_read.inc(request.size)
             self.requests_served += 1
+            self._m_requests.inc()
             self.busy_ns += self.sim.now - started
+            self._m_service_us.observe((self.sim.now - started) / 1e3)
             request.done.succeed(request.read_data)

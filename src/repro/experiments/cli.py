@@ -4,7 +4,12 @@ Usage::
 
     repro-pdr all
     repro-pdr table1 table2
+    repro-pdr table1 --metrics-out metrics.json --trace-dump 20
     python -m repro.experiments.cli fig5
+
+``--metrics-out PATH`` exports the metrics registry of every system the
+selected experiments constructed as one JSON document; ``--trace-dump
+[N]`` prints the last N (default 50) trace records of each system.
 """
 
 from __future__ import annotations
@@ -12,6 +17,8 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Callable, Dict
+
+from ..obs import TELEMETRY_BOOK
 
 from . import (
     fig5,
@@ -101,11 +108,36 @@ def main(argv=None) -> int:
         choices=sorted(EXPERIMENTS) + ["all"],
         help="which paper artifacts to regenerate",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the telemetry of every simulated system to PATH as JSON",
+    )
+    parser.add_argument(
+        "--trace-dump",
+        nargs="?",
+        const=50,
+        type=int,
+        default=None,
+        metavar="N",
+        help="print the last N trace records of each system (default 50)",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
-    for name in names:
-        print(EXPERIMENTS[name]())
+    with TELEMETRY_BOOK.capture() as book:
+        for name in names:
+            print(EXPERIMENTS[name]())
+    if args.trace_dump is not None:
+        for line in book.tail_traces(args.trace_dump):
+            print(line)
+    if args.metrics_out:
+        book.dump_json(args.metrics_out, experiments=names)
+        print(
+            f"wrote metrics for {len(book.registries)} system(s) "
+            f"to {args.metrics_out}"
+        )
     return 0
 
 

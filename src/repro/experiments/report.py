@@ -2,9 +2,15 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
-__all__ = ["format_table", "fmt", "fmt_err", "ExperimentReport"]
+__all__ = [
+    "format_phase_table",
+    "format_table",
+    "fmt",
+    "fmt_err",
+    "ExperimentReport",
+]
 
 
 def fmt(value: Optional[float], digits: int = 2, na: str = "N/A") -> str:
@@ -39,6 +45,32 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
     out = [line(headers), rule]
     out.extend(line(row) for row in rows)
     return "\n".join(out)
+
+
+def format_phase_table(labelled_results: Sequence[Tuple[str, object]]) -> str:
+    """Per-phase latency breakdown table for reconfiguration results.
+
+    ``labelled_results`` pairs a row label (e.g. the frequency) with a
+    :class:`~repro.core.results.ReconfigResult`; phases are columns in
+    their canonical firmware order, plus a sum-vs-measured check column.
+    """
+    from ..core.results import PHASES, TIMED_PHASES
+
+    headers = ["run"] + [name for name in PHASES] + ["timed sum", "latency"]
+    rows = []
+    for label, result in labelled_results:
+        cells = [label]
+        for name in PHASES:
+            cells.append(fmt(result.phase_us.get(name), 1, na="-"))
+        cells.append(fmt(result.timed_phase_sum_us, 1, na="-"))
+        cells.append(fmt(result.latency_us, 1, na="no irq"))
+        rows.append(cells)
+    note = (
+        "phases in us; 'timed sum' = "
+        + " + ".join(TIMED_PHASES)
+        + " (the C-timer window, equal to the measured latency)"
+    )
+    return format_table(headers, rows) + "\n" + note
 
 
 class ExperimentReport:

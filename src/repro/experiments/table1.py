@@ -16,7 +16,7 @@ from ..core import PdrSystem, ReconfigResult
 from ..fabric import FirFilterAsp
 
 from .calibration import PAPER_TABLE1
-from .report import ExperimentReport, fmt, fmt_err, format_table
+from .report import ExperimentReport, fmt, fmt_err, format_phase_table, format_table
 
 __all__ = ["Table1Row", "run_table1", "format_report", "main"]
 
@@ -108,6 +108,12 @@ def format_report(rows: List[Table1Row]) -> str:
     report.add(
         f"shape check (measured/N-A pattern + CRC verdicts match paper): "
         f"{'PASS' if shape_ok else 'FAIL'}"
+    )
+    report.add(
+        "firmware phase breakdown:\n"
+        + format_phase_table(
+            [(f"{row.freq_mhz:g} MHz", row.result) for row in rows]
+        )
     )
     return report.render()
 

@@ -17,6 +17,7 @@ from typing import Callable, List, Optional
 
 from ..axi.stream import AxiStream
 from ..fabric.config_memory import ConfigMemory
+from ..obs import MetricsRegistry
 from ..sim import ClockDomain, InterruptLine, Signal, Simulator
 
 from .primitive import ConfigPort
@@ -34,12 +35,19 @@ class IcapController:
         memory: ConfigMemory,
         stream: AxiStream,
         name: str = "icap",
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.sim = sim
         self.clock = clock
         self.stream = stream
         self.name = name
         self.port = ConfigPort(memory)
+        self.metrics = metrics if metrics is not None else MetricsRegistry(now_fn=lambda: sim.now)
+        self._m_words = self.metrics.counter(f"{name}.words_consumed")
+        self._m_bursts = self.metrics.counter(f"{name}.bursts_consumed")
+        self._m_stall_cycles = self.metrics.counter(f"{name}.stall_cycles")
+        self._m_corrupted = self.metrics.counter(f"{name}.corrupted_words")
+        self._m_transfers = self.metrics.counter(f"{name}.transfers")
         #: High while a configuration stream is being consumed.
         self.busy = Signal(sim, initial=False, name=f"{name}.busy")
         #: Rises when the stream desyncs (configuration done).
@@ -56,18 +64,32 @@ class IcapController:
         """Arm the controller for a new configuration stream."""
         self.port.reset()
         self.done.set(False)
+        self._m_transfers.inc()
 
     def _consume(self):
         while True:
+            wait_started_ns = self.sim.now
             burst = yield self.stream.pop()
+            if self.busy.value:
+                # Mid-transfer wait for the next burst: the stream side
+                # starved the ICAP — count it in over-clock cycles.
+                self._m_stall_cycles.inc(
+                    self.clock.ns_to_cycles(self.sim.now - wait_started_ns)
+                )
             self.busy.set(True)
             words = burst.words
             # One word per clock cycle through the ICAP.
             yield self.clock.wait_cycles(len(words))
             if self.word_corruptor is not None:
+                original = words
                 words = self.word_corruptor(words)
+                self._m_corrupted.inc(
+                    sum(1 for a, b in zip(original, words) if a != b)
+                )
             self.port.feed_words(words)
             self.words_consumed += len(words)
+            self._m_words.inc(len(words))
+            self._m_bursts.inc()
             self.stream.release(len(burst.words))
             if burst.last:
                 self.busy.set(False)

@@ -1,0 +1,27 @@
+"""Observability layer: metrics, spans, and telemetry capture.
+
+Public surface::
+
+    from repro.obs import MetricsRegistry, SpanRecorder, TELEMETRY_BOOK
+
+The package is deliberately free of simulator imports — everything is
+parameterised by a ``now_fn`` time source — so it can sit below
+:mod:`repro.sim` in the layering and be reused by any component.
+"""
+
+from .book import TELEMETRY_BOOK, TelemetryBook
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Probe, Series
+from .spans import Span, SpanRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Probe",
+    "Series",
+    "Span",
+    "SpanRecorder",
+    "TELEMETRY_BOOK",
+    "TelemetryBook",
+]

@@ -1,0 +1,96 @@
+"""Process-wide telemetry capture for the CLI export path.
+
+The experiment runners construct their own systems internally (often
+several per experiment), so the CLI cannot reach into them for metrics
+after the fact.  Instead, every system registers its
+:class:`~repro.obs.metrics.MetricsRegistry` and
+:class:`~repro.sim.trace.Tracer` with the module-level
+:data:`TELEMETRY_BOOK` at construction time.
+
+Registration is a no-op unless a capture is active, so library users pay
+nothing and long-running processes cannot leak references; the CLI wraps
+experiment execution in :meth:`TelemetryBook.capture` and then exports
+whatever was collected (``--metrics-out`` / ``--trace-dump``).
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["TELEMETRY_BOOK", "TelemetryBook"]
+
+
+class TelemetryBook:
+    """Collects (label, registry/tracer) pairs while a capture is active."""
+
+    def __init__(self) -> None:
+        self._active = False
+        self.registries: List[Tuple[str, Any]] = []
+        self.tracers: List[Tuple[str, Any]] = []
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    # -- producer side (systems) ----------------------------------------------
+    def register(self, registry, label: str = "registry") -> None:
+        """Record a metrics registry (no-op when no capture is active)."""
+        if not self._active:
+            return
+        self.registries.append((f"{label}#{len(self.registries)}", registry))
+
+    def register_tracer(self, tracer, label: str = "trace") -> None:
+        if not self._active:
+            return
+        self.tracers.append((f"{label}#{len(self.tracers)}", tracer))
+
+    # -- consumer side (CLI) ----------------------------------------------------
+    @contextmanager
+    def capture(self):
+        """Collect every registry/tracer created inside the block.
+
+        The collected lists stay readable after the block exits (that is
+        when the CLI exports them); the next capture clears them.
+        """
+        if self._active:
+            raise RuntimeError("telemetry capture is already active")
+        self.registries.clear()
+        self.tracers.clear()
+        self._active = True
+        try:
+            yield self
+        finally:
+            self._active = False
+
+    def merged_dict(self, experiments: Optional[List[str]] = None) -> Dict[str, Any]:
+        """One JSON-ready document covering every captured registry."""
+        return {
+            "schema": "repro.obs/v1",
+            "experiments": list(experiments or []),
+            "registries": [
+                {"label": label, "metrics": registry.to_dict()}
+                for label, registry in self.registries
+            ],
+        }
+
+    def dump_json(
+        self, path: str, experiments: Optional[List[str]] = None, indent: int = 2
+    ) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.merged_dict(experiments), handle, indent=indent)
+            handle.write("\n")
+
+    def tail_traces(self, count: int) -> List[str]:
+        """The last ``count`` trace lines of each captured tracer, rendered."""
+        out: List[str] = []
+        for label, tracer in self.tracers:
+            records = list(tracer.records)[-count:]
+            out.append(f"--- trace {label}: last {len(records)} of {len(tracer)} records ---")
+            out.extend(str(record) for record in records)
+        return out
+
+
+#: The process-wide book the CLI and the systems share.
+TELEMETRY_BOOK = TelemetryBook()

@@ -180,6 +180,7 @@ class Process(Event):
         bootstrap.callbacks.append(self._resume)
         bootstrap._value = None
         sim._enqueue(0.0, bootstrap)
+        sim.processes_spawned += 1
         if not daemon:
             sim._live_processes += 1
 
@@ -368,6 +369,13 @@ class Simulator:
         self._active_process: Optional[Process] = None
         self._running = False
         self._unhandled: List[Process] = []
+        #: Every process that died unobserved, kept for post-mortem
+        #: inspection even after :meth:`step` raised the first failure.
+        self.unhandled_failures: List[Process] = []
+        #: Execution statistics (exported by the observability layer).
+        self.events_processed = 0
+        self.heap_high_water = 0
+        self.processes_spawned = 0
 
     # -- time ---------------------------------------------------------------
     @property
@@ -422,6 +430,8 @@ class Simulator:
             raise SchedulingError(f"cannot schedule {delay!r} ns in the past")
         self._sequence += 1
         heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
+        if len(self._heap) > self.heap_high_water:
+            self.heap_high_water = len(self._heap)
 
     # -- execution -------------------------------------------------------------
     def step(self) -> None:
@@ -432,10 +442,33 @@ class Simulator:
         if when < self._now:  # pragma: no cover - guarded by _enqueue
             raise SimulationError("time ran backwards")
         self._now = when
+        self.events_processed += 1
         event._process()
         if self._unhandled:
-            failed = self._unhandled.pop(0)
-            raise failed._exc
+            # One event can cascade into several unobserved process deaths
+            # (e.g. a failing event with multiple waiters at the same
+            # timestamp).  Sibling casualties are separate Process events
+            # still sitting on the heap at this same timestamp — collect
+            # them too, then raise the first but keep every casualty
+            # inspectable instead of silently dropping the rest.
+            same_time = []
+            while self._heap and self._heap[0][0] == self._now:
+                same_time.append(heapq.heappop(self._heap))
+            for item in same_time:
+                sibling = item[2]
+                if (
+                    isinstance(sibling, Process)
+                    and sibling._exc is not None
+                    and not sibling.callbacks
+                ):
+                    self.events_processed += 1
+                    sibling._process()
+                else:
+                    heapq.heappush(self._heap, item)
+            self.unhandled_failures.extend(self._unhandled)
+            first = self._unhandled[0]
+            self._unhandled.clear()
+            raise first._exc
 
     def peek(self) -> float:
         """Time of the next event, or ``float('inf')`` if the heap is empty."""

@@ -4,27 +4,42 @@ Every hardware model can emit trace records through a shared
 :class:`Tracer`.  Records are kept in a bounded ring buffer so long
 simulations do not grow without bound; filters allow tests to assert on the
 sequence of events a component produced.
+
+Records may be *structured*: in addition to the human-readable message, a
+record can carry a ``kind`` tag (``"span"``, ``"irq"``, ...) and a
+``fields`` mapping of machine-readable values, which the observability
+layer uses to export phase spans without parsing strings.
+
+Emission is lazy: ``message`` may be a zero-argument callable that is only
+invoked when the record will actually be retained or echoed, so always-on
+instrumentation in hot loops costs one ``enabled`` check when telemetry is
+off.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Callable, Deque, Iterable, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Iterable, List, Mapping, Optional, Union
 
 __all__ = ["TraceRecord", "Tracer"]
 
 
 @dataclass(frozen=True)
 class TraceRecord:
-    """One trace line: when, who, what."""
+    """One trace line: when, who, what — plus optional structured payload."""
 
     time_ns: float
     source: str
     message: str
+    kind: str = ""
+    fields: Optional[Mapping[str, object]] = field(default=None)
 
     def __str__(self) -> str:
-        return f"[{self.time_ns / 1e3:12.3f}us] {self.source:<24} {self.message}"
+        text = f"[{self.time_ns / 1e3:12.3f}us] {self.source:<24} {self.message}"
+        if self.kind:
+            text += f"  <{self.kind}>"
+        return text
 
 
 class Tracer:
@@ -36,7 +51,9 @@ class Tracer:
         Maximum number of retained records (oldest dropped first).
     echo:
         Optional callable invoked with each record as it arrives (e.g.
-        ``print`` for live debugging).
+        ``print`` for live debugging).  The echo fires even when
+        retention is disabled, so a live listener keeps seeing events
+        while the ring buffer stays frozen.
     """
 
     def __init__(self, limit: int = 100_000, echo: Optional[Callable[[TraceRecord], None]] = None):
@@ -45,23 +62,53 @@ class Tracer:
         self.enabled = True
         self.dropped = 0
 
-    def emit(self, time_ns: float, source: str, message: str) -> None:
-        if not self.enabled:
+    def emit(
+        self,
+        time_ns: float,
+        source: str,
+        message: Union[str, Callable[[], str]],
+        kind: str = "",
+        fields: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        """Record one trace line.
+
+        ``message`` may be a zero-argument callable; it is only invoked
+        (and the record only constructed) when the tracer is enabled or
+        has an echo, which makes disabled telemetry near-free.
+        """
+        if not self.enabled and self.echo is None:
             return
-        if len(self.records) == self.records.maxlen:
-            self.dropped += 1
-        record = TraceRecord(time_ns, source, message)
-        self.records.append(record)
+        if callable(message):
+            message = message()
+        record = TraceRecord(time_ns, source, message, kind=kind, fields=fields)
+        if self.enabled:
+            if len(self.records) == self.records.maxlen:
+                self.dropped += 1
+            self.records.append(record)
         if self.echo is not None:
             self.echo(record)
 
-    def filter(self, source: Optional[str] = None, contains: Optional[str] = None) -> List[TraceRecord]:
-        """Return retained records matching the given source/substring."""
+    def filter(
+        self,
+        source: Optional[str] = None,
+        contains: Optional[str] = None,
+        kind: Optional[str] = None,
+        since_ns: Optional[float] = None,
+    ) -> List[TraceRecord]:
+        """Return retained records matching source/substring/kind/time bound.
+
+        ``since_ns`` is an inclusive lower bound on ``time_ns`` — the
+        usual "what happened after I armed the transfer" question.
+        """
         out = []
         for record in self.records:
+            if since_ns is not None and record.time_ns < since_ns:
+                continue
             if source is not None and record.source != source:
                 continue
             if contains is not None and contains not in record.message:
+                continue
+            if kind is not None and record.kind != kind:
                 continue
             out.append(record)
         return out

@@ -28,6 +28,7 @@ from ..bitstream import (
 )
 from ..dram import DramController, DramDevice
 from ..fabric import Asp, ConfigMemory, RpRegion, encode_asp_frames
+from ..obs import TELEMETRY_BOOK, MetricsRegistry
 from ..sim import ClockDomain, Simulator
 
 from .memctrl import SramMemoryController
@@ -66,6 +67,9 @@ class SramPrSystem:
         self.sim = Simulator()
         sim = self.sim
 
+        #: Shared telemetry registry (same naming scheme as PdrSystem).
+        self.metrics = MetricsRegistry(now_fn=lambda: sim.now, name="sram_pr_system")
+
         self.layout = make_z7020_layout()
         self.memory = ConfigMemory(self.layout)
         self.regions: Dict[str, RpRegion] = {
@@ -74,8 +78,10 @@ class SramPrSystem:
         self.builder = BitstreamBuilder(self.layout)
 
         self.dram = DramDevice()
-        self.dram_controller = DramController(sim, self.dram)
-        self.interconnect = AxiInterconnect(sim, self.dram_controller)
+        self.dram_controller = DramController(sim, self.dram, metrics=self.metrics)
+        self.interconnect = AxiInterconnect(
+            sim, self.dram_controller, metrics=self.metrics
+        )
         self.hp_port = AxiHpPort(sim, self.interconnect, name="hp_sched")
 
         self.sram = QdrSram(sim)
@@ -88,6 +94,16 @@ class SramPrSystem:
 
         self._staging_cursor = 0x1000_0000
         self.results: List[SramPrResult] = []
+
+        metrics = self.metrics
+        metrics.probe("sim.events_processed", lambda: sim.events_processed)
+        metrics.probe("sim.heap_high_water", lambda: sim.heap_high_water)
+        metrics.probe("sim.processes_spawned", lambda: sim.processes_spawned)
+        metrics.probe("icap550.freq_mhz", lambda: self.icap_clock.freq_mhz)
+        self._m_reconfigures = metrics.counter("sram_pr.reconfigures")
+        self._m_preload_us = metrics.histogram("sram_pr.preload_us")
+        self._m_activation_us = metrics.histogram("sram_pr.activation_us")
+        TELEMETRY_BOOK.register(metrics, "sram_pr_system")
 
     # -- image preparation ----------------------------------------------------
     def prepare_image(
@@ -146,6 +162,9 @@ class SramPrSystem:
         process = self.sim.process(sequence(), name=f"sram_pr:{region}")
         result: SramPrResult = self.sim.run_until(process)
         self.results.append(result)
+        self._m_reconfigures.inc()
+        self._m_preload_us.observe(result.preload_us)
+        self._m_activation_us.observe(result.activation_latency_us)
         return result
 
     def run_asp(self, region: str, words: List[int]) -> List[int]:

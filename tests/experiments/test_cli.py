@@ -51,3 +51,45 @@ def test_cli_rejects_unknown_experiment():
 def test_cli_requires_an_argument():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_cli_metrics_out_writes_telemetry_json(tmp_path):
+    import json
+
+    path = tmp_path / "metrics.json"
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = main(["table2", "--metrics-out", str(path)])
+    assert code == 0
+    assert f"to {path}" in buffer.getvalue()
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == "repro.obs/v1"
+    assert doc["experiments"] == ["table2"]
+    assert doc["registries"], "at least one system registry captured"
+    merged = {}
+    for entry in doc["registries"]:
+        merged.update(entry["metrics"])
+    assert merged["dma.bytes_moved"]["value"] > 0
+    assert merged["dma2icap.fifo_depth_words"]["count"] > 0
+    assert merged["icap.stall_cycles"]["value"] > 0
+    assert merged["crc_scrub.scrubs_run"]["value"] > 0
+
+
+def test_cli_trace_dump_prints_records():
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = main(["table2", "--trace-dump", "5"])
+    out = buffer.getvalue()
+    assert code == 0
+    assert "--- trace" in out
+    assert "last 5 of" in out
+
+
+def test_cli_report_includes_phase_breakdown():
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        main(["table1"])
+    out = buffer.getvalue()
+    assert "firmware phase breakdown" in out
+    assert "dma_transfer" in out
+    assert "timed sum" in out

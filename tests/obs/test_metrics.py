@@ -1,0 +1,150 @@
+"""Tests for the metric primitives and the registry."""
+
+import json
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class FakeClock:
+    """Controllable now_fn for time-weighted math tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+# -- counters ----------------------------------------------------------------
+
+def test_counter_accumulates_and_rejects_decrements():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(41)
+    assert counter.value == 42
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+# -- time-weighted gauges ------------------------------------------------------
+
+def test_gauge_time_weighted_mean():
+    clock = FakeClock()
+    gauge = Gauge("g", now_fn=clock)
+    gauge.set(10.0)          # t=0
+    clock.now = 100.0
+    gauge.set(20.0)          # held 10 for 100 ns
+    clock.now = 200.0        # held 20 for 100 ns
+    assert gauge.time_weighted_mean() == pytest.approx(15.0)
+    assert gauge.min == 10.0
+    assert gauge.max == 20.0
+
+
+def test_gauge_mean_weights_by_duration_not_sample_count():
+    # Nine instantaneous spikes to 100 and one long stretch at 0 must
+    # average near 0, not near 90 — the whole point of time-weighting.
+    clock = FakeClock()
+    gauge = Gauge("g", now_fn=clock)
+    gauge.set(0.0)
+    clock.now = 1000.0
+    for _ in range(9):
+        gauge.set(100.0)
+        gauge.set(0.0)       # same timestamp: zero-width spike
+    clock.now = 2000.0
+    assert gauge.time_weighted_mean() == pytest.approx(0.0)
+
+
+def test_gauge_add_is_relative():
+    clock = FakeClock()
+    gauge = Gauge("g", now_fn=clock)
+    gauge.add(3)
+    gauge.add(-1)
+    assert gauge.value == 2
+
+
+def test_gauge_unset_reports_none():
+    gauge = Gauge("g", now_fn=lambda: 0.0)
+    assert gauge.time_weighted_mean() is None
+    assert gauge.to_dict()["value"] is None
+
+
+# -- histograms ----------------------------------------------------------------
+
+def test_histogram_exact_stats_and_percentiles():
+    histogram = Histogram("h")
+    for value in range(1, 101):  # 1..100
+        histogram.observe(float(value))
+    assert histogram.count == 100
+    assert histogram.min == 1.0
+    assert histogram.max == 100.0
+    assert histogram.mean == pytest.approx(50.5)
+    assert histogram.percentile(0) == 1.0
+    assert histogram.percentile(100) == 100.0
+    assert histogram.percentile(50) == pytest.approx(50.5)
+    assert histogram.percentile(90) == pytest.approx(90.1)
+
+
+def test_histogram_reservoir_decimates_deterministically():
+    histogram = Histogram("h", reservoir_size=64)
+    for value in range(10_000):
+        histogram.observe(float(value))
+    # Exact aggregates survive decimation...
+    assert histogram.count == 10_000
+    assert histogram.max == 9999.0
+    # ...and the sampled median stays representative.
+    assert histogram.percentile(50) == pytest.approx(5000, rel=0.15)
+    # Re-running the same sequence gives the same reservoir (no RNG).
+    other = Histogram("h2", reservoir_size=64)
+    for value in range(10_000):
+        other.observe(float(value))
+    assert other.percentile(50) == histogram.percentile(50)
+
+
+def test_histogram_empty_and_bad_percentile():
+    histogram = Histogram("h")
+    assert histogram.percentile(50) is None
+    with pytest.raises(ValueError):
+        histogram.percentile(101)
+
+
+# -- registry ----------------------------------------------------------------
+
+def test_registry_get_or_create_returns_same_object():
+    registry = MetricsRegistry()
+    assert registry.counter("dma.bytes") is registry.counter("dma.bytes")
+    assert "dma.bytes" in registry
+    with pytest.raises(TypeError):
+        registry.gauge("dma.bytes")  # same name, different type
+
+
+def test_registry_series_and_probe_export():
+    clock = FakeClock()
+    registry = MetricsRegistry(now_fn=clock)
+    series = registry.series("bench.temp_c")
+    series.sample(40.0)
+    clock.now = 10.0
+    series.sample(41.0)
+    registry.probe("sim.events", lambda: 123)
+    data = registry.to_dict()
+    assert data["bench.temp_c"]["samples"] == [[0.0, 40.0], [10.0, 41.0]]
+    assert data["sim.events"]["value"] == 123
+
+
+def test_registry_dump_json_and_csv(tmp_path):
+    registry = MetricsRegistry(name="test")
+    registry.counter("a.count").inc(7)
+    registry.histogram("a.lat_us").observe(2.5)
+
+    json_path = tmp_path / "m.json"
+    registry.dump_json(str(json_path))
+    doc = json.loads(json_path.read_text())
+    assert doc["registry"] == "test"
+    assert doc["metrics"]["a.count"]["value"] == 7
+
+    csv_path = tmp_path / "m.csv"
+    registry.dump_csv(str(csv_path))
+    text = csv_path.read_text()
+    assert text.startswith("metric,field,value\n")
+    assert "a.count,value,7" in text

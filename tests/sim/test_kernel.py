@@ -205,6 +205,42 @@ def test_unhandled_process_exception_surfaces():
         sim.run()
 
 
+def test_all_same_timestamp_failures_are_retained():
+    """One failing event kills several waiters: the first death raises,
+    every casualty stays inspectable in ``unhandled_failures``."""
+    sim = Simulator()
+    flag = sim.event()
+
+    def doomed(sim):
+        yield flag  # flag fails -> uncaught -> process dies
+
+    def firer(sim):
+        yield sim.timeout(1.0)
+        flag.fail(ValueError("bus error"))
+
+    processes = [sim.process(doomed(sim)) for _ in range(3)]
+    sim.process(firer(sim))
+    with pytest.raises(ValueError, match="bus error"):
+        sim.run()
+    assert sim.unhandled_failures == processes
+    assert all(str(p._exc) == "bus error" for p in sim.unhandled_failures)
+
+
+def test_kernel_telemetry_counters():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        yield sim.timeout(2.0)
+
+    for _ in range(4):
+        sim.process(proc(sim))
+    sim.run()
+    assert sim.processes_spawned == 4
+    assert sim.events_processed > 0
+    assert sim.heap_high_water >= 4
+
+
 def test_handled_process_exception_via_waiter():
     sim = Simulator()
     caught = {}

@@ -50,3 +50,49 @@ def test_record_rendering():
     assert "icap" in text
     assert "desync" in text
     assert "1.500us" in text.replace(" ", "")
+
+
+def test_structured_record_kind_and_fields():
+    tracer = Tracer()
+    tracer.emit(10.0, "fw", "phase done", kind="span", fields={"duration_us": 5.0})
+    record = tracer.records[-1]
+    assert record.kind == "span"
+    assert record.fields["duration_us"] == 5.0
+    assert "<span>" in str(record)
+
+
+def test_filter_by_kind_and_since_ns():
+    tracer = Tracer()
+    tracer.emit(100.0, "fw", "a", kind="span")
+    tracer.emit(200.0, "fw", "b")
+    tracer.emit(300.0, "fw", "c", kind="span")
+    assert [r.message for r in tracer.filter(kind="span")] == ["a", "c"]
+    # since_ns is an inclusive lower bound.
+    assert [r.message for r in tracer.filter(since_ns=200.0)] == ["b", "c"]
+    assert [r.message for r in tracer.filter(kind="span", since_ns=200.0)] == ["c"]
+
+
+def test_lazy_message_skipped_when_disabled():
+    calls = []
+
+    def expensive():
+        calls.append(1)
+        return "built"
+
+    tracer = Tracer()
+    tracer.enabled = False
+    tracer.emit(1.0, "s", expensive)
+    assert calls == []  # never constructed
+    tracer.enabled = True
+    tracer.emit(2.0, "s", expensive)
+    assert calls == [1]
+    assert tracer.records[-1].message == "built"
+
+
+def test_echo_still_fires_when_retention_disabled():
+    echoed = []
+    tracer = Tracer(echo=echoed.append)
+    tracer.enabled = False
+    tracer.emit(1.0, "s", "live")
+    assert len(tracer) == 0  # nothing retained
+    assert echoed[0].message == "live"  # but the listener saw it
