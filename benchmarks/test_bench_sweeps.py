@@ -1,0 +1,121 @@
+"""Benchmark E9: the sweep execution engine itself.
+
+Runs one small reconfiguration sweep three ways — serial cold, parallel
+(``jobs=2``), and a cached re-run — asserts the engine's core guarantee
+(parallel and cached results identical to serial), and records suite
+wall-clock plus per-point events/s to ``BENCH_sweeps.json`` at the repo
+root so future PRs can see the perf curve.
+"""
+
+import json
+import os
+import time
+
+from repro.exec import ResultCache, SweepRunner, SweepSpec
+from repro.experiments.points import asp_descriptor, reconfigure_point
+from repro.experiments.table1 import WORKLOAD_ASP
+
+from conftest import run_once
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_REPORT_PATH = os.path.join(_REPO_ROOT, "BENCH_sweeps.json")
+
+_FREQS = [100.0, 200.0, 320.0]
+
+
+def _sweep_spec():
+    workload = asp_descriptor(WORKLOAD_ASP)
+    return SweepSpec.map(
+        "bench",
+        reconfigure_point,
+        [
+            dict(region="RP1", freq_mhz=freq, temp_c=40.0, workload=workload)
+            for freq in _FREQS
+        ],
+        labels=[f"bench@{freq:g}MHz" for freq in _FREQS],
+    )
+
+
+def _run_all_modes(tmp_dir):
+    spec = _sweep_spec()
+    report = {}
+
+    t0 = time.perf_counter()
+    serial = SweepRunner(jobs=1).run(spec)
+    report["serial"] = {
+        "wall_s": round(time.perf_counter() - t0, 3),
+        "points": [stat.to_dict() for stat in serial.stats],
+    }
+
+    t0 = time.perf_counter()
+    parallel = SweepRunner(jobs=2).run(spec)
+    report["parallel_jobs2"] = {"wall_s": round(time.perf_counter() - t0, 3)}
+
+    cache = ResultCache(os.path.join(tmp_dir, "sweep-cache"))
+    cached_runner = SweepRunner(jobs=1, cache=cache)
+    cached_runner.run(spec)  # populate
+    t0 = time.perf_counter()
+    cached = cached_runner.run(spec)
+    report["cached_rerun"] = {
+        "wall_s": round(time.perf_counter() - t0, 3),
+        "cache_hits": cached.cache_hits,
+    }
+    return serial, parallel, cached, report
+
+
+def test_bench_sweep_engine(benchmark, tmp_path):
+    serial, parallel, cached, report = run_once(
+        benchmark, _run_all_modes, str(tmp_path)
+    )
+
+    # The engine's core guarantee: execution mode never changes results.
+    assert parallel.values == serial.values
+    assert cached.values == serial.values
+    assert cached.cache_hits == len(_FREQS) and cached.simulated == 0
+
+    # The physics stayed put: the paper's robust region reconfigures
+    # successfully, the over-clocked point fails CRC.
+    by_freq = dict(zip(_FREQS, serial.values))
+    assert by_freq[200.0].crc_valid
+    assert not by_freq[320.0].crc_valid
+
+    # Deterministic kernel: every point reports the same event count on
+    # every run, so events/s is a clean single-run throughput measure.
+    for stat in serial.stats:
+        assert stat.events > 0 and stat.events_per_s > 0
+
+    payload = {
+        "generated_by": "benchmarks/test_bench_sweeps.py",
+        "host_cpus": os.cpu_count(),
+        "sweep": {
+            "experiment": "reconfigure_point",
+            "frequencies_mhz": _FREQS,
+            "points": len(_FREQS),
+        },
+        "runs": report,
+    }
+    with open(_REPORT_PATH, "w") as handle:
+        json.dump({**payload, "milestones": _MILESTONES}, handle, indent=2)
+        handle.write("\n")
+
+
+#: Measured once per tentpole change (see EXPERIMENTS.md for method);
+#: kept here so the perf history survives report regeneration.
+_MILESTONES = [
+    {
+        "date": "2026-08-05",
+        "change": "parallel sweep engine + DES kernel fast path",
+        "host_cpus": 1,
+        "cli_all_serial_s": {"before": 94.3, "after": 67.3},
+        "cli_all_jobs2_s": 55.6,
+        "cold_single_point_s": {"before": 0.403, "after": 0.322},
+        "warm_single_point_s": 0.180,
+        "cached_table2_cli_s": {"cold": 1.7, "cached": 0.21},
+        "events_per_reconfigure_point": 7297,
+        "note": (
+            "1-core container: jobs=2 gain comes from overlapping "
+            "process setup, not true parallelism; byte-identity of the "
+            "parallel and cached reports verified against serial."
+        ),
+    }
+]

@@ -10,8 +10,9 @@ the producer (the memory-side read engine), and vice versa.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Deque, List, Optional, Tuple
 
 from ..obs import MetricsRegistry
 from ..sim import Channel, Event, Simulator
@@ -51,7 +52,10 @@ class AxiStream:
         self.fifo_words = fifo_words
         self._bursts: Channel = Channel(sim, name=f"{name}.bursts")
         self._free_words = fifo_words
-        self._space_waiters: List[Tuple[int, Event, float]] = []
+        # FIFO of blocked producers; popleft() keeps the drain O(1) per
+        # waiter (a plain list.pop(0) made long stalls quadratic).
+        self._space_waiters: Deque[Tuple[int, Event, float]] = deque()
+        self._reserve_event_name = f"{name}.reserve"
         self.total_words = 0
         self.metrics = metrics if metrics is not None else MetricsRegistry(now_fn=lambda: sim.now)
         self._m_occupancy = self.metrics.gauge(f"{name}.occupancy_words")
@@ -68,7 +72,7 @@ class AxiStream:
             raise ValueError(
                 f"burst of {words} words exceeds FIFO depth {self.fifo_words}"
             )
-        event = self.sim.event(name=f"{self.name}.reserve")
+        event = self.sim.event(name=self._reserve_event_name)
         if self._free_words >= words and not self._space_waiters:
             self._free_words -= words
             self._m_occupancy.set(self.fifo_words - self._free_words)
@@ -99,7 +103,7 @@ class AxiStream:
             need, event, waited_since_ns = self._space_waiters[0]
             if self._free_words < need:
                 break
-            self._space_waiters.pop(0)
+            self._space_waiters.popleft()
             self._free_words -= need
             self._m_stall_ns.inc(self.sim.now - waited_since_ns)
             event.succeed()

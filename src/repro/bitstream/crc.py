@@ -22,17 +22,31 @@ __all__ = ["ConfigCrc", "crc32c_bytes", "crc32c_words"]
 _POLY = 0x82F63B78
 
 
-def _build_table() -> List[int]:
-    table = []
+def _build_tables(count: int = 4) -> List[List[int]]:
+    """Slicing-by-``count`` lookup tables.
+
+    ``tables[0]`` is the classic byte-at-a-time table; ``tables[k]``
+    advances a byte ``k`` further through the register, so a 32-bit chunk
+    folds with four lookups instead of four dependent shift-xor steps:
+    ``T3[x&FF] ^ T2[x>>8&FF] ^ T1[x>>16&FF] ^ T0[x>>24]``.
+    """
+    tables = [[0] * 256 for _ in range(count)]
+    first = tables[0]
     for byte in range(256):
         crc = byte
         for _ in range(8):
             crc = (crc >> 1) ^ _POLY if crc & 1 else crc >> 1
-        table.append(crc)
-    return table
+        first[byte] = crc
+    for k in range(1, count):
+        prev = tables[k - 1]
+        for byte in range(256):
+            value = prev[byte]
+            tables[k][byte] = first[value & 0xFF] ^ (value >> 8)
+    return tables
 
 
-_TABLE = _build_table()
+_TABLES = _build_tables()
+_TABLE = _TABLES[0]
 
 
 def crc32c_bytes(data: bytes, crc: int = 0) -> int:
@@ -45,10 +59,11 @@ def crc32c_bytes(data: bytes, crc: int = 0) -> int:
 
 def crc32c_words(words: Iterable[int], crc: int = 0) -> int:
     """CRC-32C over 32-bit words, little-endian byte order per word."""
+    t0, t1, t2, t3 = _TABLES
     crc = crc ^ 0xFFFFFFFF
     for word in words:
-        for shift in (0, 8, 16, 24):
-            crc = _TABLE[(crc ^ (word >> shift)) & 0xFF] ^ (crc >> 8)
+        x = crc ^ word
+        crc = t3[x & 0xFF] ^ t2[(x >> 8) & 0xFF] ^ t1[(x >> 16) & 0xFF] ^ t0[x >> 24]
     return crc ^ 0xFFFFFFFF
 
 
@@ -85,10 +100,11 @@ class ConfigCrc:
             raise ValueError(f"data word {word:#x} out of range")
         # Fold the 37-bit (addr, word) tuple byte-wise: 4 data bytes then
         # the address byte, matching the order used by the builder.
+        t0, t1, t2, t3 = _TABLES
         crc = self._crc ^ 0xFFFFFFFF
-        for shift in (0, 8, 16, 24):
-            crc = _TABLE[(crc ^ (word >> shift)) & 0xFF] ^ (crc >> 8)
-        crc = _TABLE[(crc ^ register_addr) & 0xFF] ^ (crc >> 8)
+        x = crc ^ word
+        crc = t3[x & 0xFF] ^ t2[(x >> 8) & 0xFF] ^ t1[(x >> 16) & 0xFF] ^ t0[x >> 24]
+        crc = t0[(crc ^ register_addr) & 0xFF] ^ (crc >> 8)
         self._crc = crc ^ 0xFFFFFFFF
         self.words_folded += 1
 
@@ -101,14 +117,12 @@ class ConfigCrc:
         """
         if not 0 <= register_addr < 32:
             raise ValueError(f"register address {register_addr} out of range")
-        table = _TABLE
+        t0, t1, t2, t3 = _TABLES
         crc = self._crc ^ 0xFFFFFFFF
         for word in words:
-            crc = table[(crc ^ word) & 0xFF] ^ (crc >> 8)
-            crc = table[(crc ^ (word >> 8)) & 0xFF] ^ (crc >> 8)
-            crc = table[(crc ^ (word >> 16)) & 0xFF] ^ (crc >> 8)
-            crc = table[(crc ^ (word >> 24)) & 0xFF] ^ (crc >> 8)
-            crc = table[(crc ^ register_addr) & 0xFF] ^ (crc >> 8)
+            x = crc ^ word
+            crc = t3[x & 0xFF] ^ t2[(x >> 8) & 0xFF] ^ t1[(x >> 16) & 0xFF] ^ t0[x >> 24]
+            crc = t0[(crc ^ register_addr) & 0xFF] ^ (crc >> 8)
         self._crc = crc ^ 0xFFFFFFFF
         self.words_folded += len(words)
 

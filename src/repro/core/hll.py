@@ -100,6 +100,7 @@ class HllFramework:
                 rp_clock,
                 self.system.regions[name],
                 control=control,
+                metrics=self.system.metrics,
             )
         self._job_buffer_cursor = 0x1800_0000
         #: region -> key of the ASP currently resident (None = blank).

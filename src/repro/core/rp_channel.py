@@ -16,10 +16,11 @@ wall time decomposes exactly into data-in + compute + data-out.
 from __future__ import annotations
 
 import struct
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..axi.ports import AxiHpPort
 from ..axi.stream import AxiStream, StreamBurst
+from ..obs import MetricsRegistry
 from ..dma import (
     AxiDmaEngine,
     DMACR_IOC_IRQ_EN,
@@ -52,6 +53,7 @@ class RpDataChannel:
         region: RpRegion,
         name: str = "",
         control=None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.sim = sim
         self.hp_port = hp_port
@@ -61,13 +63,27 @@ class RpDataChannel:
         #: Optional :class:`~repro.core.rp_regs.RpControlInterface` that
         #: mirrors busy state and pulses data-ready on job completion.
         self.control = control
-        self.in_stream = AxiStream(sim, fifo_words=512, name=f"{self.name}.in")
-        self.out_stream = AxiStream(sim, fifo_words=512, name=f"{self.name}.out")
+        self.in_stream = AxiStream(
+            sim, fifo_words=512, name=f"{self.name}.in", metrics=metrics
+        )
+        self.out_stream = AxiStream(
+            sim, fifo_words=512, name=f"{self.name}.out", metrics=metrics
+        )
         self.mm2s = AxiDmaEngine(
-            sim, rp_clock, hp_port, self.in_stream, name=f"{self.name}.mm2s"
+            sim,
+            rp_clock,
+            hp_port,
+            self.in_stream,
+            name=f"{self.name}.mm2s",
+            metrics=metrics,
         )
         self.s2mm = S2mmDmaEngine(
-            sim, rp_clock, hp_port, self.out_stream, name=f"{self.name}.s2mm"
+            sim,
+            rp_clock,
+            hp_port,
+            self.out_stream,
+            name=f"{self.name}.s2mm",
+            metrics=metrics,
         )
         self.jobs_completed = 0
 

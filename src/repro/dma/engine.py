@@ -210,6 +210,7 @@ class S2mmDmaEngine:
         stream: AxiStream,
         name: str = "dma_s2mm",
         cmd_overhead_cycles: int = CMD_OVERHEAD_CYCLES,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if cmd_overhead_cycles < 0:
             raise ValueError("command overhead cannot be negative")
@@ -219,6 +220,13 @@ class S2mmDmaEngine:
         self.stream = stream
         self.name = name
         self.cmd_overhead_cycles = cmd_overhead_cycles
+        self.metrics = metrics if metrics is not None else MetricsRegistry(now_fn=lambda: sim.now)
+        self._m_bursts = self.metrics.counter(f"{name}.bursts_issued")
+        self._m_bytes = self.metrics.counter(f"{name}.bytes_moved")
+        self._m_cmd_cycles = self.metrics.counter(f"{name}.cmd_overhead_cycles")
+        self._m_transfers = self.metrics.counter(f"{name}.transfers_completed")
+        self._m_transfer_us = self.metrics.histogram(f"{name}.transfer_us")
+        self._m_mb_s = self.metrics.histogram(f"{name}.achieved_mb_s")
         self.ioc_irq = InterruptLine(sim, name=f"{name}.ioc")
         self.suppress_completion_irq = False
         self.bytes_received = 0
@@ -244,11 +252,13 @@ class S2mmDmaEngine:
         self.sim.process(self._run(dest_addr, max_bytes), name=f"{self.name}.s2mm")
 
     def _run(self, dest_addr: int, max_bytes: int):
+        started_ns = self.sim.now
         cursor = dest_addr
         remaining = max_bytes
         while remaining > 0:
             burst = yield self.stream.pop()
             yield self.clock.wait_cycles(self.cmd_overhead_cycles)
+            self._m_cmd_cycles.inc(self.cmd_overhead_cycles)
             data = struct.pack(f">{len(burst.words)}I", *burst.words)
             if len(data) > remaining:
                 data = data[:remaining]
@@ -257,9 +267,17 @@ class S2mmDmaEngine:
             cursor += len(data)
             remaining -= len(data)
             self.bytes_received += len(data)
+            self._m_bursts.inc()
+            self._m_bytes.inc(len(data))
             if burst.last:
                 break
         self._idle = True
         self.transfers_completed += 1
+        self._m_transfers.inc()
+        duration_us = (self.sim.now - started_ns) / 1e3
+        self._m_transfer_us.observe(duration_us)
+        received = cursor - dest_addr
+        if duration_us > 0:
+            self._m_mb_s.observe(received / duration_us)  # B/us == MB/s
         if not self.suppress_completion_irq:
             self.ioc_irq.pulse()

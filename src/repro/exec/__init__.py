@@ -1,0 +1,40 @@
+"""Sweep execution engine: declarative specs, parallel runner, result cache.
+
+Every paper artifact is a sweep of independent simulation points; this
+package turns that shape into infrastructure:
+
+* :class:`SweepSpec` / :class:`SweepPoint` — a sweep as *data* (a
+  module-level point function reference + canonical parameters), so
+  points can cross process boundaries and address an on-disk cache;
+* :class:`SweepRunner` — executes a spec serially or across ``--jobs N``
+  worker processes with a deterministic, order-preserving merge;
+* :class:`ResultCache` — content-addressed by (code fingerprint, point
+  identity): repeated runs skip every already-simulated point, and any
+  source change invalidates the lot.
+"""
+
+from .cache import CACHE_DIR_ENV, ResultCache, code_fingerprint, default_cache_dir
+from .runner import (
+    PointStats,
+    SweepResult,
+    SweepRunner,
+    default_jobs,
+    note_events,
+)
+from .spec import SweepPoint, SweepSpec, canonical_json, canonical_params
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "PointStats",
+    "ResultCache",
+    "SweepPoint",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "canonical_json",
+    "canonical_params",
+    "code_fingerprint",
+    "default_cache_dir",
+    "default_jobs",
+    "note_events",
+]

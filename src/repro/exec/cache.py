@@ -1,0 +1,115 @@
+"""Content-addressed on-disk cache for sweep point results.
+
+A point's cache key is the SHA-256 of
+
+* the **code fingerprint** — a digest over every ``repro`` source file,
+  so any change to the models invalidates every cached result;
+* the point's function reference and canonicalised parameters (system
+  config, workload, frequency, temperature, ...).
+
+Values are pickled simulation records (``ReconfigResult`` and friends).
+Writes are atomic (temp file + rename) so concurrent workers racing on
+the same key are harmless: last writer wins with identical content, a
+half-written entry is never visible under the final name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Any, Optional, Tuple
+
+from .spec import SweepPoint
+
+__all__ = ["ResultCache", "code_fingerprint", "default_cache_dir"]
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
+
+_CODE_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Digest of every ``repro`` package source file (cached per process)."""
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        digest = hashlib.sha256()
+        for dirpath, dirnames, filenames in sorted(os.walk(package_root)):
+            dirnames.sort()
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                digest.update(os.path.relpath(path, package_root).encode())
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+        _CODE_FINGERPRINT = digest.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_SWEEP_CACHE`` or ``~/.cache/repro-pdr/sweeps``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return override
+    return os.path.join(
+        os.path.expanduser("~"), ".cache", "repro-pdr", "sweeps"
+    )
+
+
+class ResultCache:
+    """Pickle store addressed by (code fingerprint, point identity)."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = root or default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def key(self, point: SweepPoint) -> str:
+        """Content-addressed key for ``point`` under the current code."""
+        digest = hashlib.sha256()
+        digest.update(code_fingerprint().encode())
+        digest.update(b"\x00")
+        digest.update(point.identity().encode())
+        return digest.hexdigest()
+
+    def _path(self, key: str) -> str:
+        # Shard by the first byte to keep directory listings manageable.
+        return os.path.join(self.root, key[:2], f"{key}.pkl")
+
+    def get(self, point: SweepPoint) -> Tuple[bool, Any]:
+        """``(hit, value)`` — a corrupt or unreadable entry is a miss."""
+        path = self._path(self.key(point))
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, point: SweepPoint, value: Any) -> None:
+        """Store ``value`` atomically; failures to write are non-fatal."""
+        path = self._path(self.key(point))
+        directory = os.path.dirname(path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(temp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return  # cache is best-effort: a read-only disk must not fail a run
+        self.stores += 1

@@ -1,0 +1,227 @@
+"""The sweep execution engine.
+
+:class:`SweepRunner` executes a :class:`~repro.exec.spec.SweepSpec` —
+serially in-process, or fanned out across worker processes with
+``jobs > 1`` — and merges results **in point order**, so a parallel run
+is byte-identical to a serial one.  Each point is independently
+addressable in the :class:`~repro.exec.cache.ResultCache`: a repeated
+run only simulates the points the cache has never seen (or whose code
+has changed since).
+
+Point functions run inside :func:`_execute_point`, which times the call
+and collects the event-throughput statistic the function reports via
+:func:`note_events`; the per-point :class:`PointStats` trajectory is what
+``benchmarks/sweep_perf.py`` records to ``BENCH_sweeps.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from .cache import ResultCache
+from .spec import SweepPoint, SweepSpec
+
+__all__ = [
+    "PointStats",
+    "SweepResult",
+    "SweepRunner",
+    "default_jobs",
+    "note_events",
+]
+
+#: Set by :func:`note_events` while a point function runs; read back by
+#: :func:`_execute_point` after the function returns.
+_POINT_EVENTS: Optional[int] = None
+
+
+def note_events(events_processed: int) -> None:
+    """Report the number of kernel events a point's simulation processed.
+
+    Point functions call this (typically with
+    ``system.sim.events_processed``) just before returning, so the
+    runner can record an events/s trajectory without reaching into
+    simulator objects that never cross the process boundary.
+    """
+    global _POINT_EVENTS
+    _POINT_EVENTS = int(events_processed)
+
+
+def _execute_point(point: SweepPoint) -> Tuple[Any, Optional[int], float]:
+    """Run one point; returns ``(payload, events_processed, wall_s)``.
+
+    Module-level so it is picklable by :class:`ProcessPoolExecutor`.
+    """
+    global _POINT_EVENTS
+    _POINT_EVENTS = None
+    function = point.resolve()
+    started = time.perf_counter()
+    payload = function(**point.kwargs())
+    wall_s = time.perf_counter() - started
+    return payload, _POINT_EVENTS, wall_s
+
+
+def default_jobs() -> int:
+    """Worker count for ``--jobs 0`` / "auto": the machine's CPU count."""
+    return os.cpu_count() or 1
+
+
+@dataclass
+class PointStats:
+    """Execution record of one sweep point."""
+
+    label: str
+    fn: str
+    cached: bool
+    wall_s: float = 0.0
+    events: Optional[int] = None
+
+    @property
+    def events_per_s(self) -> Optional[float]:
+        if self.events is None or self.wall_s <= 0 or self.cached:
+            return None
+        return self.events / self.wall_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "fn": self.fn,
+            "cached": self.cached,
+            "wall_s": round(self.wall_s, 6),
+            "events": self.events,
+            "events_per_s": (
+                round(self.events_per_s, 1) if self.events_per_s else None
+            ),
+        }
+
+
+@dataclass
+class SweepResult:
+    """Ordered results of one sweep execution."""
+
+    name: str
+    values: List[Any]
+    stats: List[PointStats] = field(default_factory=list)
+    wall_s: float = 0.0
+    jobs: int = 1
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for stat in self.stats if stat.cached)
+
+    @property
+    def simulated(self) -> int:
+        return len(self.stats) - self.cache_hits
+
+
+class SweepRunner:
+    """Executes sweeps: ``jobs`` worker processes + optional result cache.
+
+    ``jobs=1`` (the default) runs every point in-process — the serial
+    fallback, and the mode in which per-system telemetry still reaches
+    the process-wide :data:`~repro.obs.TELEMETRY_BOOK`.  ``jobs>1`` fans
+    uncached points out over a :class:`ProcessPoolExecutor`; results are
+    merged back in spec order, so reports do not depend on scheduling.
+    """
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None):
+        if jobs < 0:
+            raise ValueError(f"jobs must be >= 0 (0 = auto), got {jobs}")
+        self.jobs = jobs or default_jobs()
+        self.cache = cache
+        #: Accumulated stats across every sweep this runner executed.
+        self.history: List[SweepResult] = []
+
+    # -- convenience -----------------------------------------------------------
+    def map(
+        self,
+        name: str,
+        fn: Callable,
+        param_sets: Iterable[Dict[str, Any]],
+        labels: Iterable[str] = (),
+    ) -> List[Any]:
+        """Run ``fn`` over ``param_sets``; returns ordered payloads."""
+        return self.run(SweepSpec.map(name, fn, param_sets, labels)).values
+
+    # -- execution -------------------------------------------------------------
+    def run(self, spec: SweepSpec) -> SweepResult:
+        """Execute every point of ``spec``; results follow spec order."""
+        started = time.perf_counter()
+        count = len(spec.points)
+        values: List[Any] = [None] * count
+        stats: List[PointStats] = [
+            PointStats(label=point.label, fn=point.fn, cached=False)
+            for point in spec.points
+        ]
+
+        pending: List[int] = []
+        for index, point in enumerate(spec.points):
+            if self.cache is not None:
+                hit, value = self.cache.get(point)
+                if hit:
+                    values[index] = value
+                    stats[index].cached = True
+                    continue
+            pending.append(index)
+
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                self._run_parallel(spec, pending, values, stats)
+            else:
+                self._run_serial(spec, pending, values, stats)
+            if self.cache is not None:
+                for index in pending:
+                    self.cache.put(spec.points[index], values[index])
+
+        result = SweepResult(
+            name=spec.name,
+            values=values,
+            stats=stats,
+            wall_s=time.perf_counter() - started,
+            jobs=self.jobs,
+        )
+        self.history.append(result)
+        return result
+
+    def _run_serial(
+        self,
+        spec: SweepSpec,
+        pending: List[int],
+        values: List[Any],
+        stats: List[PointStats],
+    ) -> None:
+        for index in pending:
+            payload, events, wall_s = _execute_point(spec.points[index])
+            values[index] = payload
+            stats[index].events = events
+            stats[index].wall_s = wall_s
+
+    def _run_parallel(
+        self,
+        spec: SweepSpec,
+        pending: List[int],
+        values: List[Any],
+        stats: List[PointStats],
+    ) -> None:
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            futures = {
+                index: executor.submit(_execute_point, spec.points[index])
+                for index in pending
+            }
+            # Collect in submission (= spec) order; completion order is
+            # irrelevant to the merged result.
+            for index in pending:
+                try:
+                    payload, events, wall_s = futures[index].result()
+                except Exception as exc:
+                    raise RuntimeError(
+                        f"sweep {spec.name!r} point "
+                        f"{spec.points[index].label or index} failed: {exc}"
+                    ) from exc
+                values[index] = payload
+                stats[index].events = events
+                stats[index].wall_s = wall_s

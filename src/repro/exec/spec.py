@@ -1,0 +1,141 @@
+"""Declarative sweep descriptions.
+
+A *sweep* is the execution shape of every paper artifact in this
+repository: a list of independent simulation points (frequency ×
+temperature × workload × configuration), each of which constructs its
+own :class:`~repro.core.PdrSystem` (or baseline controller) and runs one
+measurement.  Because the points share no state, they can be executed in
+any order, on any number of worker processes, and cached individually —
+provided the description of a point is *data*, not live objects.
+
+:class:`SweepPoint` is that description: a dotted reference to a
+module-level point function plus a canonicalised parameter mapping.  The
+canonical form (sorted keys, tuples for sequences) gives every point a
+stable identity that the runner uses for deterministic result merging
+and the on-disk cache uses for content-addressed keys.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Tuple
+
+__all__ = ["SweepPoint", "SweepSpec", "canonical_params", "canonical_json"]
+
+
+def _canonical_value(value: Any) -> Any:
+    """Normalise ``value`` into a hashable, JSON-stable form."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical_value(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(
+            (str(key), _canonical_value(value[key])) for key in sorted(value)
+        )
+    raise TypeError(
+        f"sweep point parameters must be plain data "
+        f"(int/float/str/bool/None/list/tuple/dict), got {value!r}"
+    )
+
+
+def canonical_params(params: Dict[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    """Sorted ``(key, value)`` pairs with every value canonicalised."""
+    return tuple((key, _canonical_value(params[key])) for key in sorted(params))
+
+
+def _jsonable(value: Any) -> Any:
+    """Canonical value -> JSON-encodable (tuples become lists)."""
+    if isinstance(value, tuple):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON rendering of a canonicalised value."""
+    return json.dumps(_jsonable(_canonical_value(value)), sort_keys=True)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent simulation point of a sweep.
+
+    ``fn`` is a ``"package.module:function"`` reference so the point can
+    be shipped to a worker process (or re-resolved by a cached run in a
+    later process) without pickling code objects.
+    """
+
+    fn: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+    label: str = ""
+
+    @classmethod
+    def call(cls, fn: Callable, label: str = "", **params: Any) -> "SweepPoint":
+        """Build a point from a module-level callable and its kwargs."""
+        module = getattr(fn, "__module__", None)
+        qualname = getattr(fn, "__qualname__", "")
+        if not module or "." in qualname or "<" in qualname:
+            raise TypeError(
+                f"sweep point functions must be module-level callables, "
+                f"got {fn!r}"
+            )
+        return cls(
+            fn=f"{module}:{qualname}",
+            params=canonical_params(params),
+            label=label,
+        )
+
+    def kwargs(self) -> Dict[str, Any]:
+        """The parameters as a keyword dict (canonical values)."""
+        return dict(self.params)
+
+    def resolve(self) -> Callable:
+        """Import and return the referenced point function."""
+        module_name, _, attr = self.fn.partition(":")
+        if not module_name or not attr:
+            raise ValueError(f"malformed point function reference {self.fn!r}")
+        function = getattr(importlib.import_module(module_name), attr, None)
+        if not callable(function):
+            raise ValueError(f"{self.fn!r} does not resolve to a callable")
+        return function
+
+    def identity(self) -> str:
+        """Stable identity string (function reference + canonical params)."""
+        return f"{self.fn}({canonical_json(dict(self.params))})"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named, ordered collection of independent points."""
+
+    name: str
+    points: Tuple[SweepPoint, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "points", tuple(self.points))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterable[SweepPoint]:
+        return iter(self.points)
+
+    @classmethod
+    def map(
+        cls,
+        name: str,
+        fn: Callable,
+        param_sets: Iterable[Dict[str, Any]],
+        labels: Iterable[str] = (),
+    ) -> "SweepSpec":
+        """Spec applying ``fn`` to each parameter set, preserving order."""
+        labels = list(labels)
+        points = []
+        for index, params in enumerate(param_sets):
+            label = labels[index] if index < len(labels) else ""
+            points.append(SweepPoint.call(fn, label=label, **params))
+        return cls(name=name, points=tuple(points))

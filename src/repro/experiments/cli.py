@@ -3,9 +3,20 @@
 Usage::
 
     repro-pdr all
+    repro-pdr all --jobs 4                  # parallel sweep execution
+    repro-pdr all --jobs 0 --cache          # auto workers + result cache
     repro-pdr table1 table2
     repro-pdr table1 --metrics-out metrics.json --trace-dump 20
     python -m repro.experiments.cli fig5
+
+Sweep-shaped experiments run through the :mod:`repro.exec` engine:
+``--jobs N`` fans independent simulation points over N worker processes
+(0 = one per CPU); results merge in point order, so the report is
+byte-identical to a serial run.  ``--cache [DIR]`` additionally reuses
+results across invocations (content-addressed by code + parameters).
+Cached or parallel points run outside this process, so per-system
+telemetry (``--metrics-out`` / ``--trace-dump``) only covers systems
+built in-process — run serially without ``--cache`` for full telemetry.
 
 ``--metrics-out PATH`` exports the metrics registry of every system the
 selected experiments constructed as one JSON document; ``--trace-dump
@@ -18,6 +29,7 @@ import argparse
 import sys
 from typing import Callable, Dict
 
+from ..exec import ResultCache, SweepRunner, default_cache_dir
 from ..obs import TELEMETRY_BOOK
 
 from . import (
@@ -36,49 +48,48 @@ from . import (
 __all__ = ["main"]
 
 
-def _run_table1() -> str:
-    return table1.format_report(table1.run_table1())
+def _run_table1(runner: SweepRunner) -> str:
+    return table1.format_report(table1.run_table1(runner=runner))
 
 
-def _run_fig5() -> str:
-    return fig5.format_report(fig5.run_fig5())
+def _run_fig5(runner: SweepRunner) -> str:
+    return fig5.format_report(fig5.run_fig5(runner=runner))
 
 
-def _run_fig6() -> str:
-    return fig6.format_report(fig6.run_fig6())
+def _run_fig6(runner: SweepRunner) -> str:
+    return fig6.format_report(fig6.run_fig6(runner=runner))
 
 
-def _run_table2() -> str:
-    return table2.format_report(table2.run_table2())
+def _run_table2(runner: SweepRunner) -> str:
+    return table2.format_report(table2.run_table2(runner=runner))
 
 
-def _run_temp_stress() -> str:
-    return temp_stress.format_report(temp_stress.run_temp_stress())
+def _run_temp_stress(runner: SweepRunner) -> str:
+    return temp_stress.format_report(temp_stress.run_temp_stress(runner=runner))
 
 
-def _run_table3() -> str:
-    rows = table3.run_table3()
-    sweeps = table3.run_scaling_sweep(controllers=[r.controller for r in rows])
+def _run_table3(runner: SweepRunner) -> str:
+    rows, sweeps = table3.run_table3_sweep(runner=runner)
     return table3.format_report(rows, sweeps)
 
 
-def _run_proposed() -> str:
+def _run_proposed(runner: SweepRunner) -> str:
     return proposed.format_report(proposed.run_proposed())
 
 
-def _run_methodology() -> str:
+def _run_methodology(runner: SweepRunner) -> str:
     return methodology.format_report(methodology.characterize_pdr_system())
 
 
-def _run_campaign() -> str:
-    return workloads.format_report(workloads.compare_icap_frequencies())
+def _run_campaign(runner: SweepRunner) -> str:
+    return workloads.format_report(workloads.compare_icap_frequencies(runner=runner))
 
 
-def _run_sensitivity() -> str:
-    return sensitivity.format_report(sensitivity.run_sensitivity())
+def _run_sensitivity(runner: SweepRunner) -> str:
+    return sensitivity.format_report(sensitivity.run_sensitivity(runner=runner))
 
 
-EXPERIMENTS: Dict[str, Callable[[], str]] = {
+EXPERIMENTS: Dict[str, Callable[[SweepRunner], str]] = {
     "table1": _run_table1,
     "fig5": _run_fig5,
     "fig6": _run_fig6,
@@ -109,6 +120,28 @@ def main(argv=None) -> int:
         help="which paper artifacts to regenerate",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for sweep execution (default 1 = serial, "
+            "0 = one per CPU); reports are identical regardless of N"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help=(
+            "reuse sweep-point results across runs (content-addressed "
+            "on-disk cache; default location "
+            "~/.cache/repro-pdr/sweeps or $REPRO_SWEEP_CACHE)"
+        ),
+    )
+    parser.add_argument(
         "--metrics-out",
         metavar="PATH",
         default=None,
@@ -124,11 +157,26 @@ def main(argv=None) -> int:
         help="print the last N trace records of each system (default 50)",
     )
     args = parser.parse_args(argv)
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0 (0 = one worker per CPU)")
+
+    cache = None
+    if args.cache is not None:
+        cache = ResultCache(args.cache or default_cache_dir())
+    runner = SweepRunner(jobs=args.jobs, cache=cache)
 
     names = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
     with TELEMETRY_BOOK.capture() as book:
         for name in names:
-            print(EXPERIMENTS[name]())
+            print(EXPERIMENTS[name](runner))
+    simulated = sum(result.simulated for result in runner.history)
+    hits = sum(result.cache_hits for result in runner.history)
+    if hits:
+        print(
+            f"[sweeps] {simulated} point(s) simulated, "
+            f"{hits} served from cache ({runner.cache.root})",
+            file=sys.stderr,
+        )
     if args.trace_dump is not None:
         for line in book.tail_traces(args.trace_dump):
             print(line)

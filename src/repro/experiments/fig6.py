@@ -16,7 +16,9 @@ from typing import Dict, List, Optional
 
 from ..analysis import Series, linear_fit, render_plot
 from ..core import PdrSystem
+from ..exec import SweepRunner
 
+from .points import asp_descriptor, reconfigure_point
 from .report import ExperimentReport, format_table
 from .table1 import WORKLOAD_ASP
 
@@ -55,18 +57,38 @@ def run_fig6(
     temps_c: Optional[List[float]] = None,
     freqs_mhz: Optional[List[float]] = None,
     region: str = "RP1",
+    runner: Optional[SweepRunner] = None,
 ) -> Fig6Data:
     """Measure P_PDR at every frequency x temperature point."""
-    system = system or PdrSystem()
+    temps = list(temps_c or PLOT_TEMPS_C)
+    freqs = list(freqs_mhz or PLOT_FREQS_MHZ)
+    grid = [(temp, freq) for temp in temps for freq in freqs]
+    if system is not None:
+        results = []
+        for temp, freq in grid:
+            system.set_die_temperature(temp)
+            results.append(system.reconfigure(region, WORKLOAD_ASP, freq))
+    else:
+        results = (runner or SweepRunner()).map(
+            "fig6",
+            reconfigure_point,
+            [
+                dict(
+                    region=region,
+                    freq_mhz=freq,
+                    temp_c=temp,
+                    workload=asp_descriptor(WORKLOAD_ASP),
+                )
+                for temp, freq in grid
+            ],
+            labels=[f"fig6@{freq:g}MHz/{temp:g}C" for temp, freq in grid],
+        )
     curves: Dict[float, Series] = {}
     fits: Dict[float, tuple] = {}
-    for temp in temps_c or PLOT_TEMPS_C:
-        system.set_die_temperature(temp)
-        series = Series(f"{temp:g} C")
-        for freq in freqs_mhz or PLOT_FREQS_MHZ:
-            result = system.reconfigure(region, WORKLOAD_ASP, freq)
-            series.append(result.freq_mhz, result.pdr_power_w)
-        curves[temp] = series
+    for (temp, _freq), result in zip(grid, results):
+        series = curves.setdefault(temp, Series(f"{temp:g} C"))
+        series.append(result.freq_mhz, result.pdr_power_w)
+    for temp, series in curves.items():
         fits[temp] = linear_fit(series.x, series.y)
     return Fig6Data(curves=curves, fits=fits)
 

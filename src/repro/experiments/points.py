@@ -1,0 +1,64 @@
+"""Shared sweep point functions.
+
+Every experiment harness decomposes into independent *points* — one
+simulation per (frequency, temperature, workload, configuration) tuple —
+executed through :class:`repro.exec.SweepRunner`.  A point function must
+be a **module-level callable taking only plain-data kwargs** so it can
+cross a process boundary and give the on-disk result cache a canonical
+key.  The common case, one over-clocked reconfiguration on a fresh
+:class:`~repro.core.PdrSystem`, lives here; experiment-specific points
+(baseline controllers, campaigns, perturbed systems) live next to their
+experiment module.
+
+A fresh system per point is what makes the points independent (and thus
+parallel/cacheable); results match the shared-system path to well within
+the reproduction's 1 % tolerance — only the global-timer tick phase
+differs, which shows up at most in the 5th significant digit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core import PdrSystem, PdrSystemConfig, ReconfigResult
+from ..exec import note_events
+from ..fabric import Asp, instantiate_asp
+
+__all__ = ["asp_descriptor", "make_system", "reconfigure_point"]
+
+
+def asp_descriptor(asp: Asp) -> Tuple[int, Tuple[int, ...]]:
+    """Plain-data identity of an ASP: ``(kind, params)``.
+
+    Rebuild the ASP with :func:`repro.fabric.instantiate_asp` — the same
+    round-trip the configuration frames themselves use.
+    """
+    return (asp.kind, tuple(asp.params()))
+
+
+def make_system(config=None) -> PdrSystem:
+    """A fresh system from a plain-data config mapping (or ``None``)."""
+    if config:
+        return PdrSystem(config=PdrSystemConfig(**dict(config)))
+    return PdrSystem()
+
+
+def reconfigure_point(
+    region: str,
+    freq_mhz: float,
+    temp_c: float,
+    workload: Tuple[int, Tuple[int, ...]],
+    config=None,
+) -> ReconfigResult:
+    """One complete over-clocked PDR measurement on a fresh system.
+
+    The point behind Table I, Table II, Fig. 5, Fig. 6 and the §IV-A
+    stress matrix; ``workload`` is an :func:`asp_descriptor` tuple and
+    ``config`` an optional mapping of ``PdrSystemConfig`` overrides.
+    """
+    system = make_system(config)
+    system.set_die_temperature(temp_c)
+    asp = instantiate_asp(workload[0], list(workload[1]))
+    result = system.reconfigure(region, asp, freq_mhz)
+    note_events(system.sim.events_processed)
+    return result

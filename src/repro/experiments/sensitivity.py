@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..analysis import knee_frequency
 from ..core import PdrSystem, PdrSystemConfig
+from ..exec import SweepRunner, note_events
 from ..fabric import FirFilterAsp
 
 from .report import ExperimentReport, fmt, format_table
@@ -30,6 +31,7 @@ from .report import ExperimentReport, fmt, format_table
 __all__ = [
     "SensitivityPoint",
     "SensitivityResult",
+    "sensitivity_point",
     "run_sensitivity",
     "format_report",
     "main",
@@ -115,19 +117,36 @@ def _build_perturbations() -> Dict[str, Callable[[float], PdrSystem]]:
     }
 
 
+def sensitivity_point(parameter: str, scale: float) -> SensitivityPoint:
+    """One perturbed system, fully measured (sweep point)."""
+    factory = _build_perturbations().get(parameter)
+    if factory is None:
+        raise KeyError(f"unknown sensitivity parameter {parameter!r}")
+    system = factory(scale)
+    point = _measure(system)
+    point.parameter = parameter
+    point.scale = scale
+    note_events(system.sim.events_processed)
+    return point
+
+
 def run_sensitivity(
     scales: Optional[List[float]] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> SensitivityResult:
     """Perturb each calibrated constant and measure the curve shape."""
     scales = scales or [0.75, 1.0, 1.25]
-    points: List[SensitivityPoint] = []
-    for parameter, factory in _build_perturbations().items():
-        for scale in scales:
-            system = factory(scale)
-            point = _measure(system)
-            point.parameter = parameter
-            point.scale = scale
-            points.append(point)
+    grid = [
+        (parameter, scale)
+        for parameter in _build_perturbations()
+        for scale in scales
+    ]
+    points = (runner or SweepRunner()).map(
+        "sensitivity",
+        sensitivity_point,
+        [dict(parameter=parameter, scale=scale) for parameter, scale in grid],
+        labels=[f"sens@{parameter}x{scale:g}" for parameter, scale in grid],
+    )
     return SensitivityResult(points=points)
 
 

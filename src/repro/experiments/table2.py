@@ -13,8 +13,10 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..core import PdrSystem, ReconfigResult
+from ..exec import SweepRunner
 
 from .calibration import PAPER_TABLE2
+from .points import asp_descriptor, reconfigure_point
 from .report import ExperimentReport, fmt, fmt_err, format_table
 from .table1 import WORKLOAD_ASP
 
@@ -33,13 +35,30 @@ class Table2Row:
 def run_table2(
     system: Optional[PdrSystem] = None,
     region: str = "RP1",
+    runner: Optional[SweepRunner] = None,
 ) -> List[Table2Row]:
     """Run the Table II sweep at 40 C."""
-    system = system or PdrSystem()
-    system.set_die_temperature(40.0)
+    freqs = sorted(PAPER_TABLE2)
+    if system is not None:
+        system.set_die_temperature(40.0)
+        results = [system.reconfigure(region, WORKLOAD_ASP, freq) for freq in freqs]
+    else:
+        results = (runner or SweepRunner()).map(
+            "table2",
+            reconfigure_point,
+            [
+                dict(
+                    region=region,
+                    freq_mhz=freq,
+                    temp_c=40.0,
+                    workload=asp_descriptor(WORKLOAD_ASP),
+                )
+                for freq in freqs
+            ],
+            labels=[f"table2@{freq:g}MHz" for freq in freqs],
+        )
     rows = []
-    for freq in sorted(PAPER_TABLE2):
-        result = system.reconfigure(region, WORKLOAD_ASP, freq)
+    for freq, result in zip(freqs, results):
         power, throughput, efficiency = PAPER_TABLE2[freq]
         rows.append(
             Table2Row(

@@ -25,6 +25,7 @@ from ..baselines import (
     Vf2012Controller,
 )
 from ..core import TABLE1_BITSTREAM_BYTES
+from ..exec import SweepRunner, note_events
 
 from .calibration import PAPER_TABLE3
 from .report import ExperimentReport, fmt, fmt_err, format_table
@@ -33,13 +34,26 @@ __all__ = [
     "Table3Row",
     "default_controllers",
     "run_table3",
+    "run_table3_sweep",
     "run_scaling_sweep",
+    "table3_point",
     "format_report",
     "main",
 ]
 
 #: HKT-2011 is quoted for FIFO-resident bitstreams ("up to 50 KB").
 HKT_BITSTREAM_BYTES = 50 * 1024
+
+#: §V scaling-narrative sweep frequencies (MHz).
+DEFAULT_SCALING_FREQS = [100.0, 150.0, 210.0, 250.0, 280.0, 310.0, 350.0, 550.0]
+
+#: Sweep-point registry: design key -> controller factory.
+DESIGN_FACTORIES = {
+    "vf2012": Vf2012Controller,
+    "hp2011": Hp2011Controller,
+    "hkt2011": Hkt2011Controller,
+    "this_work": ThisWorkController,
+}
 
 
 @dataclass
@@ -88,6 +102,92 @@ def run_table3(
             )
         )
     return rows
+
+
+@dataclass
+class ControllerInfo:
+    """Plain-data stand-in for a controller in sweep-produced rows.
+
+    Carries exactly the attributes :func:`format_report` reads off
+    ``Table3Row.controller`` — the live controller itself stays in the
+    worker process.
+    """
+
+    design: str
+    platform: str
+    has_crc_check: bool
+
+
+def table3_point(design: str, scaling_freqs) -> dict:
+    """One design's full Table III + §V measurement (sweep point).
+
+    Builds the controller fresh, runs the published operating point and
+    the scaling sweep on the *same* instance (ThisWork's DES system keeps
+    its clock-wizard/DRAM state across transfers, as on the bench) and
+    returns plain data only.
+    """
+    controller = DESIGN_FACTORIES[design]()
+    size = (
+        HKT_BITSTREAM_BYTES
+        if isinstance(controller, Hkt2011Controller)
+        else TABLE1_BITSTREAM_BYTES
+    )
+    operating = controller.transfer(size, controller.table3_operating_point())
+    sweep = [
+        controller.transfer(TABLE1_BITSTREAM_BYTES, freq) for freq in scaling_freqs
+    ]
+    system = getattr(controller, "system", None)
+    if system is not None:
+        note_events(system.sim.events_processed)
+    return {
+        "design": controller.design,
+        "platform": controller.platform,
+        "has_crc_check": controller.has_crc_check,
+        "operating": operating,
+        "sweep": sweep,
+    }
+
+
+def run_table3_sweep(
+    runner: Optional[SweepRunner] = None,
+    frequencies: Optional[List[float]] = None,
+):
+    """Table III rows + §V scaling sweeps through the sweep runner.
+
+    Returns ``(rows, sweeps)`` matching :func:`run_table3` /
+    :func:`run_scaling_sweep`, with each design an independent point.
+    """
+    freqs = [float(f) for f in frequencies or DEFAULT_SCALING_FREQS]
+    designs = list(DESIGN_FACTORIES)
+    payloads = (runner or SweepRunner()).map(
+        "table3",
+        table3_point,
+        [dict(design=design, scaling_freqs=freqs) for design in designs],
+        labels=[f"table3@{design}" for design in designs],
+    )
+    rows: List[Table3Row] = []
+    sweeps: Dict[str, List[BaselineResult]] = {}
+    for payload in payloads:
+        info = ControllerInfo(
+            design=payload["design"],
+            platform=payload["platform"],
+            has_crc_check=payload["has_crc_check"],
+        )
+        operating = payload["operating"]
+        paper = PAPER_TABLE3.get(info.design)
+        if paper is None:
+            paper = (info.platform, operating.requested_mhz, 0.0)
+        rows.append(
+            Table3Row(
+                controller=info,
+                result=operating,
+                paper_platform=paper[0],
+                paper_freq_mhz=paper[1],
+                paper_throughput_mb_s=paper[2],
+            )
+        )
+        sweeps[info.design] = payload["sweep"]
+    return rows, sweeps
 
 
 def run_scaling_sweep(

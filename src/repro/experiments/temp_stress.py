@@ -17,12 +17,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..core import PdrSystem
+from ..exec import SweepRunner
 
 from .calibration import (
     PAPER_STRESS_FAILURES,
     PAPER_STRESS_FREQS_MHZ,
     PAPER_STRESS_TEMPS_C,
 )
+from .points import asp_descriptor, reconfigure_point
 from .report import ExperimentReport, format_table
 from .table1 import WORKLOAD_ASP
 
@@ -48,17 +50,35 @@ def run_temp_stress(
     temps_c: Optional[List[float]] = None,
     freqs_mhz: Optional[List[float]] = None,
     region: str = "RP2",
+    runner: Optional[SweepRunner] = None,
 ) -> StressMatrix:
     """Run the full frequency x temperature stress grid."""
-    system = system or PdrSystem()
-    temps = temps_c or PAPER_STRESS_TEMPS_C
-    freqs = freqs_mhz or PAPER_STRESS_FREQS_MHZ
-    matrix = StressMatrix(temps_c=list(temps), freqs_mhz=list(freqs))
-    for temp in temps:
-        system.set_die_temperature(temp)
-        for freq in freqs:
-            result = system.reconfigure(region, WORKLOAD_ASP, freq)
-            matrix.cells[(freq, temp)] = result.crc_valid
+    temps = list(temps_c or PAPER_STRESS_TEMPS_C)
+    freqs = list(freqs_mhz or PAPER_STRESS_FREQS_MHZ)
+    matrix = StressMatrix(temps_c=temps, freqs_mhz=freqs)
+    grid = [(temp, freq) for temp in temps for freq in freqs]
+    if system is not None:
+        results = []
+        for temp, freq in grid:
+            system.set_die_temperature(temp)
+            results.append(system.reconfigure(region, WORKLOAD_ASP, freq))
+    else:
+        results = (runner or SweepRunner()).map(
+            "temp_stress",
+            reconfigure_point,
+            [
+                dict(
+                    region=region,
+                    freq_mhz=freq,
+                    temp_c=temp,
+                    workload=asp_descriptor(WORKLOAD_ASP),
+                )
+                for temp, freq in grid
+            ],
+            labels=[f"stress@{freq:g}MHz/{temp:g}C" for temp, freq in grid],
+        )
+    for (temp, freq), result in zip(grid, results):
+        matrix.cells[(freq, temp)] = result.crc_valid
     return matrix
 
 

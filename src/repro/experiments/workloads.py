@@ -18,10 +18,11 @@ Regenerate with ``python -m repro.experiments.workloads``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence
 
 from ..core import AspRequest, HllFramework
+from ..exec import SweepRunner, note_events
 from ..fabric import (
     Aes128Asp,
     Asp,
@@ -41,6 +42,7 @@ __all__ = [
     "make_asp_pool",
     "generate_requests",
     "run_campaign",
+    "campaign_point",
     "compare_icap_frequencies",
     "format_report",
     "main",
@@ -186,16 +188,32 @@ def run_campaign(
     )
 
 
+def campaign_point(freq_mhz: float, spec) -> CampaignResult:
+    """One full campaign on a fresh framework (sweep point).
+
+    ``spec`` is a :class:`WorkloadSpec` field mapping, so the point stays
+    plain-data addressable.
+    """
+    workload = WorkloadSpec(**dict(spec))
+    framework = HllFramework(icap_freq_mhz=freq_mhz)
+    result = run_campaign(framework, generate_requests(workload))
+    note_events(framework.system.sim.events_processed)
+    return result
+
+
 def compare_icap_frequencies(
     frequencies: Sequence[float] = (100.0, 200.0, 280.0),
     spec: WorkloadSpec = WorkloadSpec(),
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[float, CampaignResult]:
     """The same workload at several ICAP clocks (fresh system each)."""
-    out = {}
-    for freq in frequencies:
-        framework = HllFramework(icap_freq_mhz=freq)
-        out[freq] = run_campaign(framework, generate_requests(spec))
-    return out
+    results = (runner or SweepRunner()).map(
+        "campaign",
+        campaign_point,
+        [dict(freq_mhz=freq, spec=asdict(spec)) for freq in frequencies],
+        labels=[f"campaign@{freq:g}MHz" for freq in frequencies],
+    )
+    return dict(zip(frequencies, results))
 
 
 def format_report(results: Dict[float, CampaignResult]) -> str:

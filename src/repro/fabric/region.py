@@ -31,6 +31,10 @@ class RpRegion:
         self._frame_indices = [
             self.layout.frame_index(far) for far in self.layout.region_frames(name)
         ]
+        # _on_frame_write runs for every frame of every transfer; keep the
+        # membership test O(1) instead of rebuilding a set per call.
+        self._frame_index_set = frozenset(self._frame_indices)
+        self._first_frame_index = self._frame_indices[0] if self._frame_indices else -1
         self._cached_asp: Optional[Asp] = None
         self._cached_generation: Optional[List[int]] = None
         #: How many distinct configurations this region has held.
@@ -88,11 +92,11 @@ class RpRegion:
         return [self.memory.generation(i) for i in self._frame_indices]
 
     def _on_frame_write(self, frame_index: int) -> None:
-        if frame_index not in set(self._frame_indices):
+        if frame_index not in self._frame_index_set:
             return
         # Count a "reconfiguration" once per burst of writes: when the first
         # frame of the region is rewritten.
-        if frame_index == self._frame_indices[0]:
+        if frame_index == self._first_frame_index:
             self.reconfiguration_count += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

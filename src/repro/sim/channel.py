@@ -41,6 +41,10 @@ class Channel:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        # put/get fire once per item moved — precompute the event names
+        # instead of building an f-string on every call.
+        self._put_event_name = f"{name}.put"
+        self._get_event_name = f"{name}.get"
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._putters: Deque[tuple] = deque()  # (event, item)
@@ -74,7 +78,7 @@ class Channel:
     # -- operations -----------------------------------------------------------
     def put(self, item: Any) -> Event:
         """Enqueue ``item``; returns an event that fires once it is accepted."""
-        event = self.sim.event(name=f"{self.name}.put")
+        event = self.sim.event(name=self._put_event_name)
         if self.is_full:
             self._putters.append((event, item))
         else:
@@ -84,7 +88,7 @@ class Channel:
 
     def get(self) -> Event:
         """Dequeue one item; returns an event whose value is the item."""
-        event = self.sim.event(name=f"{self.name}.get")
+        event = self.sim.event(name=self._get_event_name)
         if self._items:
             event.succeed(self._dequeue())
         else:

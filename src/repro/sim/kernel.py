@@ -142,10 +142,58 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SchedulingError(f"negative timeout delay {delay!r}")
-        super().__init__(sim, name=f"timeout({delay:g})")
+        # Timeouts are the hottest allocation in the kernel; skip the
+        # per-instance name f-string and render the delay in __repr__.
+        super().__init__(sim)
         self.delay = delay
         self._value = value
         self.sim._enqueue(delay, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed" if self._processed
+            else "triggered" if self.triggered
+            else "pending"
+        )
+        return f"<timeout({self.delay:g}) {state} at t={self.sim.now:.3f}ns>"
+
+
+class _Resume:
+    """Lightweight heap entry: resume a process from an already-processed event.
+
+    Yielding an event that has already fired must resume the process at the
+    *same* timestamp, after everything currently scheduled there (FIFO).
+    Allocating a full replay :class:`Event` for that is wasteful — this
+    carries just the captured value/exception and the target process.
+    """
+
+    __slots__ = ("process", "value", "exc")
+
+    #: ``Process._deliver_interrupt`` checks ``target.callbacks is not None``
+    #: before detaching a waiter; ``None`` here means there is nothing to
+    #: remove — cancellation is detected in :meth:`_process` instead, via
+    #: the process' ``_waiting_on`` link.
+    callbacks = None
+
+    def __init__(self, process: "Process", value: Any, exc: Optional[BaseException]):
+        self.process = process
+        self.value = value
+        self.exc = exc
+
+    def _process(self) -> None:
+        process = self.process
+        if process._waiting_on is not self:
+            # The process was interrupted (or re-targeted) while this entry
+            # sat on the heap; the resume is stale.
+            return
+        process._waiting_on = None
+        if self.exc is not None:
+            process._step(throw=self.exc)
+        else:
+            process._step(send=self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<resume:{self.process.name}>"
 
 
 class Process(Event):
@@ -169,7 +217,8 @@ class Process(Event):
         if not hasattr(generator, "send"):
             raise TypeError(f"Process requires a generator, got {generator!r}")
         self._generator = generator
-        self._waiting_on: Optional[Event] = None
+        #: The Event (or _Resume entry) this process is currently waiting on.
+        self._waiting_on: Optional[Any] = None
         self._interrupts: List[Interrupt] = []
         #: Daemon processes (infinite hardware server loops) do not count
         #: toward deadlock detection: a run that leaves only daemons
@@ -275,13 +324,11 @@ class Process(Event):
                 f"simulator"
             )
         if target._processed:
-            # The event already fired; resume immediately (same timestamp).
-            poke = Event(sim, name=f"replay:{target.name}")
-            poke._value = target._value
-            poke._exc = target._exc
-            poke.callbacks.append(self._resume)
-            sim._enqueue(0.0, poke)
-            self._waiting_on = poke
+            # The event already fired; resume immediately (same timestamp)
+            # via a lightweight heap entry instead of a replay Event.
+            resume = _Resume(self, target._value, target._exc)
+            sim._enqueue(0.0, resume)
+            self._waiting_on = resume
         else:
             target.callbacks.append(self._resume)
             self._waiting_on = target
@@ -363,7 +410,9 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._heap: List[Tuple[float, int, Event]] = []
+        # Heap entries hold Events or lightweight _Resume records; the
+        # sequence number breaks ties so entries are never compared.
+        self._heap: List[Tuple[float, int, Any]] = []
         self._sequence = 0
         self._live_processes = 0
         self._active_process: Optional[Process] = None
@@ -425,7 +474,7 @@ class Simulator:
         return AnyOf(self, events)
 
     # -- scheduling ----------------------------------------------------------
-    def _enqueue(self, delay: float, event: Event) -> None:
+    def _enqueue(self, delay: float, event: Any) -> None:
         if delay < 0:
             raise SchedulingError(f"cannot schedule {delay!r} ns in the past")
         self._sequence += 1

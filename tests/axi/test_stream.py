@@ -82,6 +82,75 @@ def test_release_overflow_detected():
         stream.release(9)
 
 
+def test_single_release_drains_waiters_in_fifo_order():
+    """One big release wakes every satisfiable waiter, oldest first.
+
+    Regression test for the deque-based drain: the previous list.pop(0)
+    implementation was O(n) per waiter; this pins the behaviour (arrival
+    order, all drained in one release) the deque must preserve.
+    """
+    sim = Simulator()
+    stream = AxiStream(sim, fifo_words=16)
+    order = []
+
+    def producer(sim, tag, words):
+        yield stream.reserve(words)
+        order.append(tag)
+        stream.push(StreamBurst(words=[0] * words))
+
+    def consumer(sim):
+        # Absorb the first burst, wait, then release everything at once.
+        burst = yield stream.pop()
+        yield sim.timeout(50.0)
+        stream.release(len(burst.words))
+        for _ in range(4):
+            burst = yield stream.pop()
+            stream.release(len(burst.words))
+
+    sim.process(producer(sim, "first", 16))  # fills the FIFO
+    sim.process(producer(sim, "a", 4))
+    sim.process(producer(sim, "b", 4))
+    sim.process(producer(sim, "c", 4))
+    sim.process(producer(sim, "d", 4))
+    sim.process(consumer(sim))
+    sim.run()
+    assert order == ["first", "a", "b", "c", "d"]
+    assert stream.free_words == 16
+
+
+def test_head_of_line_waiter_blocks_smaller_followers():
+    """Strict FIFO: a large waiter at the head is not bypassed by a small
+    one behind it, even when the small request would fit."""
+    sim = Simulator()
+    stream = AxiStream(sim, fifo_words=8)
+    order = []
+
+    def producer(sim, tag, words):
+        yield stream.reserve(words)
+        order.append((tag, sim.now))
+        stream.push(StreamBurst(words=[0] * words))
+
+    def consumer(sim):
+        burst = yield stream.pop()
+        yield sim.timeout(10.0)
+        stream.release(len(burst.words) // 2)  # 4 words free: not enough for "big"
+        yield sim.timeout(10.0)
+        stream.release(len(burst.words) - len(burst.words) // 2)
+        burst = yield stream.pop()
+        stream.release(len(burst.words))
+        burst = yield stream.pop()
+        stream.release(len(burst.words))
+
+    sim.process(producer(sim, "filler", 8))
+    sim.process(producer(sim, "big", 8))
+    sim.process(producer(sim, "small", 2))
+    sim.process(consumer(sim))
+    sim.run()
+    # "big" needed the full 8 words (free at t=20); "small" stayed queued
+    # behind it despite fitting in the 4 words available at t=10.
+    assert order == [("filler", 0.0), ("big", 20.0), ("small", 20.0)]
+
+
 def test_reserve_fifo_fairness():
     """Space waiters are served in arrival order (no starvation)."""
     sim = Simulator()

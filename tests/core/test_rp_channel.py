@@ -51,6 +51,35 @@ def test_s2mm_truncates_to_buffer():
     assert engine.bytes_received == 8
 
 
+def test_s2mm_records_metrics_like_mm2s():
+    """The write engine carries the same instrument set as the read engine."""
+    from repro.obs import MetricsRegistry
+
+    sim = Simulator()
+    device = DramDevice()
+    interconnect = AxiInterconnect(sim, DramController(sim, device))
+    port = AxiHpPort(sim, interconnect)
+    clock = ClockDomain(sim, 150.0)
+    metrics = MetricsRegistry(now_fn=lambda: sim.now)
+    stream = AxiStream(sim, fifo_words=512, metrics=metrics)
+    engine = S2mmDmaEngine(sim, clock, port, stream, metrics=metrics)
+    engine.arm(0x8000, 64)
+
+    def producer(sim):
+        yield stream.reserve(16)
+        stream.push(StreamBurst(words=list(range(16)), last=True))
+
+    sim.process(producer(sim))
+    sim.run_until(engine.ioc_irq.wait_assert())
+    assert metrics.get("dma_s2mm.bursts_issued").value == 1
+    assert metrics.get("dma_s2mm.bytes_moved").value == 64
+    assert metrics.get("dma_s2mm.cmd_overhead_cycles").value == engine.cmd_overhead_cycles
+    assert metrics.get("dma_s2mm.transfers_completed").value == 1
+    assert metrics.get("dma_s2mm.transfer_us").count == 1
+    assert metrics.get("dma_s2mm.transfer_us").sum > 0
+    assert metrics.get("dma_s2mm.achieved_mb_s").count == 1
+
+
 def test_s2mm_validation():
     sim, _device, _stream, engine = _s2mm_rig()
     with pytest.raises(ValueError):
@@ -67,7 +96,13 @@ def system_with_channel():
     system.reconfigure("RP1", FirFilterAsp([2, 1]), 200.0)
     hp_port = AxiHpPort(system.sim, system.interconnect, name="hp_rp1")
     rp_clock = ClockDomain(system.sim, 100.0, name="rp1_clk")
-    channel = RpDataChannel(system.sim, hp_port, rp_clock, system.regions["RP1"])
+    channel = RpDataChannel(
+        system.sim,
+        hp_port,
+        rp_clock,
+        system.regions["RP1"],
+        metrics=system.metrics,
+    )
     return system, channel
 
 
@@ -120,6 +155,18 @@ def test_channel_rejects_empty_job(system_with_channel):
     with pytest.raises(ValueError):
         # Generator: the error surfaces on first resume.
         system.sim.run_until(system.sim.process(channel.run_job([], 0, 0x1000)))
+
+
+def test_channel_threads_system_registry_to_both_engines(system_with_channel):
+    """After a job, the shared registry shows traffic on BOTH directions."""
+    system, channel = system_with_channel
+    metrics = channel.mm2s.metrics
+    assert channel.s2mm.metrics is metrics
+    for direction in ("mm2s", "s2mm"):
+        prefix = f"{channel.name}.{direction}"
+        assert metrics.get(f"{prefix}.bursts_issued").value > 0
+        assert metrics.get(f"{prefix}.bytes_moved").value > 0
+        assert metrics.get(f"{prefix}.transfer_us").count > 0
 
 
 def test_hll_outputs_match_direct_asp_execution():

@@ -1,0 +1,29 @@
+"""Module-level point functions for the exec test suite.
+
+Sweep point functions must be importable by reference ("module:qualname"),
+including from worker processes, so they live here rather than inside the
+test functions.
+"""
+
+from repro.exec import note_events
+
+
+def square(x):
+    """x^2 — the simplest possible sweep point."""
+    return x * x
+
+
+def describe(x, scale=1.0, tag=""):
+    """Echo the canonicalised kwargs back, plus a derived value."""
+    return {"x": x, "scale": scale, "tag": tag, "value": x * scale}
+
+
+def slow_square(x):
+    """Like :func:`square`, but reports fake event statistics."""
+    note_events(100 * x)
+    return x * x
+
+
+def boom(x):
+    """Always fails."""
+    raise ValueError(f"boom({x})")

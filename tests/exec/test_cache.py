@@ -1,0 +1,87 @@
+"""ResultCache: content addressing, corruption tolerance, fingerprinting."""
+
+import pytest
+
+import repro.exec.cache as cache_module
+from repro.exec import ResultCache, SweepPoint, code_fingerprint
+
+from .points_for_tests import square
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(str(tmp_path / "sweeps"))
+
+
+def test_miss_then_hit_roundtrip(cache):
+    point = SweepPoint.call(square, x=3)
+    hit, _ = cache.get(point)
+    assert not hit
+    cache.put(point, 9)
+    hit, value = cache.get(point)
+    assert hit and value == 9
+    assert cache.misses == 1 and cache.hits == 1 and cache.stores == 1
+
+
+def test_distinct_params_get_distinct_keys(cache):
+    a = SweepPoint.call(square, x=3)
+    b = SweepPoint.call(square, x=4)
+    assert cache.key(a) != cache.key(b)
+    cache.put(a, 9)
+    hit, _ = cache.get(b)
+    assert not hit
+
+
+def test_corrupt_entry_is_a_miss(cache):
+    point = SweepPoint.call(square, x=3)
+    cache.put(point, 9)
+    path = cache._path(cache.key(point))
+    with open(path, "wb") as handle:
+        handle.write(b"not a pickle")
+    hit, _ = cache.get(point)
+    assert not hit
+
+
+def test_code_fingerprint_changes_key(cache, monkeypatch):
+    point = SweepPoint.call(square, x=3)
+    key_now = cache.key(point)
+    monkeypatch.setattr(cache_module, "_CODE_FINGERPRINT", "different")
+    assert cache.key(point) != key_now
+
+
+def test_fingerprint_is_memoised_and_stable():
+    assert code_fingerprint() == code_fingerprint()
+    assert len(code_fingerprint()) == 64
+
+
+def test_put_failure_is_non_fatal(tmp_path):
+    # A plain file where the cache root should be: every mkdir fails with
+    # OSError, which put() must swallow (the cache is best-effort).
+    target = tmp_path / "not-a-directory"
+    target.write_text("occupied")
+    cache = ResultCache(str(target))
+    cache.put(SweepPoint.call(square, x=1), 1)  # must not raise
+    assert cache.stores == 0
+
+
+def test_values_survive_pickle_of_result_records(cache):
+    from repro.core.results import ReconfigResult
+
+    result = ReconfigResult(
+        region="RP1",
+        requested_freq_mhz=200.0,
+        freq_mhz=200.0,
+        bitstream_bytes=4,
+        temp_c=40.0,
+        interrupt_seen=True,
+        crc_valid=True,
+        latency_us=1.0,
+        pdr_power_w=0.1,
+        board_power_w=1.0,
+        failure_modes=[],
+    )
+    point = SweepPoint.call(square, x=99)
+    cache.put(point, result)
+    hit, loaded = cache.get(point)
+    assert hit
+    assert loaded.freq_mhz == 200.0 and loaded.crc_valid

@@ -1,0 +1,66 @@
+"""SweepSpec / SweepPoint / canonicalisation unit tests."""
+
+import pytest
+
+from repro.exec import SweepPoint, SweepSpec, canonical_json, canonical_params
+
+from .points_for_tests import describe, square
+
+
+def test_point_roundtrip_resolve_and_call():
+    point = SweepPoint.call(square, x=7)
+    assert point.fn.endswith(":square")
+    assert point.resolve()(**point.kwargs()) == 49
+
+
+def test_canonical_params_sorted_and_tupled():
+    params = canonical_params({"b": [1, 2], "a": {"y": 2.0, "x": 1}})
+    assert params == (("a", (("x", 1), ("y", 2.0))), ("b", (1, 2)))
+
+
+def test_canonical_json_is_deterministic():
+    a = canonical_json({"k": [1, (2, 3)], "j": "s"})
+    b = canonical_json({"j": "s", "k": (1, [2, 3])})
+    assert a == b
+
+
+def test_non_plain_data_params_rejected():
+    with pytest.raises(TypeError):
+        SweepPoint.call(square, x=object())
+
+
+def test_lambda_and_nested_functions_rejected():
+    with pytest.raises(TypeError):
+        SweepPoint.call(lambda x: x, x=1)
+
+    def nested(x):
+        return x
+
+    with pytest.raises(TypeError):
+        SweepPoint.call(nested, x=1)
+
+
+def test_identity_depends_on_fn_and_params():
+    a = SweepPoint.call(square, x=1)
+    b = SweepPoint.call(square, x=2)
+    c = SweepPoint.call(describe, x=1)
+    assert a.identity() != b.identity()
+    assert a.identity() != c.identity()
+    # Labels are presentation only — identity ignores them.
+    assert SweepPoint.call(square, label="other", x=1).identity() == a.identity()
+
+
+def test_spec_map_preserves_order_and_labels():
+    spec = SweepSpec.map(
+        "demo", square, [{"x": i} for i in range(4)], labels=["a", "b"]
+    )
+    assert len(spec) == 4
+    assert [point.kwargs()["x"] for point in spec] == [0, 1, 2, 3]
+    assert [point.label for point in spec] == ["a", "b", "", ""]
+
+
+def test_malformed_reference_rejected():
+    with pytest.raises(ValueError):
+        SweepPoint(fn="no-colon").resolve()
+    with pytest.raises(ValueError):
+        SweepPoint(fn="tests.exec.points_for_tests:not_there").resolve()

@@ -34,6 +34,7 @@ SUBPACKAGES = [
     "repro.baselines",
     "repro.experiments",
     "repro.analysis",
+    "repro.exec",
 ]
 
 
