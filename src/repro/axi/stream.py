@@ -82,6 +82,23 @@ class AxiStream:
             self._space_waiters.append((words, event, self.sim.now))
         return event
 
+    def cancel_reserve(self, event: Event, words: int) -> None:
+        """Undo a :meth:`reserve` whose producer is being torn down.
+
+        If the reservation was already granted, its words return to the
+        pool; if it is still queued, the waiter entry is removed so the
+        space is never handed to a producer that no longer exists.
+        Granted-and-pushed reservations are the consumer's to release and
+        must not be cancelled.
+        """
+        if event.triggered:
+            self.release(words)
+            return
+        for index, (_need, waiter, _since) in enumerate(self._space_waiters):
+            if waiter is event:
+                del self._space_waiters[index]
+                return
+
     def push(self, burst: StreamBurst) -> None:
         """Enqueue a burst whose space was previously reserved."""
         self.total_words += len(burst.words)

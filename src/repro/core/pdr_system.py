@@ -30,6 +30,7 @@ from ..crccheck import CrcScrubber
 from ..dma import (
     AxiDmaEngine,
     DMACR_IOC_IRQ_EN,
+    DMACR_RESET,
     DMACR_RS,
     DMASR_IOC_IRQ,
     MM2S_DMACR,
@@ -299,16 +300,20 @@ class PdrSystem:
         asp: Asp,
         freq_mhz: float,
         bitstream: Optional[Bitstream] = None,
+        attempt: int = 0,
     ) -> ReconfigResult:
         """Run one complete over-clocked PDR measurement.
 
         Blocks (in simulation time) until the firmware sequence finishes
-        and returns the Table-I-style result record.
+        and returns the Table-I-style result record.  ``attempt`` is the
+        retry index of a recovery loop (0 = first try); it salts the
+        fault injector so a retry does not replay bit-identical
+        corruption.
         """
         if region not in self.regions:
             raise KeyError(f"unknown region {region!r}")
         process = self.sim.process(
-            self.reconfigure_process(region, asp, freq_mhz, bitstream),
+            self.reconfigure_process(region, asp, freq_mhz, bitstream, attempt),
             name=f"fw.reconfigure:{region}",
         )
         result: ReconfigResult = self.sim.run_until(process)
@@ -321,6 +326,7 @@ class PdrSystem:
         asp: Asp,
         freq_mhz: float,
         bitstream: Optional[Bitstream] = None,
+        attempt: int = 0,
     ):
         """The reconfiguration sequence as a raw process generator.
 
@@ -331,7 +337,28 @@ class PdrSystem:
         if bitstream is None:
             bitstream = self.make_bitstream(region, asp)
         addr = self.stage_bitstream(bitstream)
-        return self._firmware_sequence(region, bitstream, addr, freq_mhz)
+        return self._firmware_sequence(region, bitstream, addr, freq_mhz, attempt)
+
+    # ------------------------------------------------------------ fault hooks --
+    def abort_transfer(self):
+        """Reset the DMA engine and abort the in-flight ICAP transfer.
+
+        Process generator; the recovery path for a missing completion
+        interrupt.  Returns once the engine is verifiably idle and the
+        stream between DMA and ICAP is quiesced — raising instead of
+        returning if the hardware will not settle, because retrying on
+        top of a still-draining transfer corrupts the next load.
+        """
+        self.dma.reg_write(MM2S_DMACR, DMACR_RESET)
+        # The reset interrupt lands on the next event tick; give the
+        # engine a couple of cycles to unwind before quiescing the ICAP.
+        yield self.overclock.wait_cycles(2)
+        yield self.sim.process(self.icap.abort(), name="fw.icap_abort")
+        if not self.dma.idle:
+            raise RuntimeError("DMA engine not idle after abort")
+        if self.icap.busy.value:
+            raise RuntimeError("ICAP still busy after abort")
+        self.trace.emit(self.sim.now, "fw", "DMA reset + ICAP abort complete")
 
     def run_asp(self, region: str, words: List[int]) -> List[int]:
         """Execute the currently configured ASP of ``region`` functionally."""
@@ -405,7 +432,7 @@ class PdrSystem:
         return self.sim.run_until(process)
 
     # ---------------------------------------------------------------- firmware --
-    def _firmware_sequence(self, region, bitstream, addr, freq_mhz):
+    def _firmware_sequence(self, region, bitstream, addr, freq_mhz, attempt=0):
         """The paper's C test program, as a simulation process.
 
         Every firmware phase runs inside a :class:`SpanRecorder` span, so
@@ -442,7 +469,9 @@ class PdrSystem:
                 failure_modes.append(FailureMode.CONTROL_HANG)
             if not data_ok:
                 fmax = self.timing.path(PDR_DATA_PATH).fmax_mhz(temp_c)
-                self.icap.word_corruptor = make_word_corruptor(achieved, fmax, temp_c)
+                self.icap.word_corruptor = make_word_corruptor(
+                    achieved, fmax, temp_c, region=region, attempt=attempt
+                )
                 failure_modes.append(FailureMode.DATA_CORRUPT)
             else:
                 self.icap.word_corruptor = None
@@ -479,6 +508,12 @@ class PdrSystem:
                 self._m_latency_us.observe(latency_us)
             else:
                 self._m_irq_timeouts.inc()
+                # A timed-out transfer may still be in flight: left alone
+                # it keeps draining into the ICAP and can bleed into the
+                # next reconfiguration.  Halt the engine and quiesce the
+                # ICAP before touching the fabric again.
+                with spans.span("fault_abort"):
+                    yield from self.abort_transfer()
 
             # Let the ICAP finish draining whatever the DMA pushed.
             with spans.span("icap_drain"):
@@ -499,8 +534,11 @@ class PdrSystem:
             )
 
             # 7. Report on the OLED, sample power, return the record.
+            # The sampled board power can quantise below the idle
+            # baseline at low operating points; a transfer never has
+            # negative power draw, so clamp at zero.
             board_power = self.current_sense.read_board_power_w()
-            pdr_power = board_power - self.power_model.params.p0_board_w
+            pdr_power = max(0.0, board_power - self.power_model.params.p0_board_w)
             self._power_series.sample(board_power)
             self._temp_series.sample(self.thermal.temperature_c)
         result = ReconfigResult(

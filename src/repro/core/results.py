@@ -9,7 +9,16 @@ __all__ = ["BatchReconfigResult", "PHASES", "ReconfigResult", "TIMED_PHASES"]
 
 #: Canonical firmware phase order (matches the spans recorded by
 #: :meth:`repro.core.pdr_system.PdrSystem._firmware_sequence`).
-PHASES = ("clock_lock", "driver_setup", "dma_transfer", "icap_drain", "scrub")
+#: ``fault_abort`` only appears when the completion interrupt timed out
+#: and the firmware had to reset the DMA and abort the ICAP transfer.
+PHASES = (
+    "clock_lock",
+    "driver_setup",
+    "dma_transfer",
+    "fault_abort",
+    "icap_drain",
+    "scrub",
+)
 
 #: Phases inside the paper's C-timer window: the timer starts right
 #: before driver setup and stops when the completion interrupt arrives,

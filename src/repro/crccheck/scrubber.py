@@ -17,7 +17,7 @@ configuration logic cannot read and write simultaneously).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from ..bitstream.crc import crc32c_words
 from ..bitstream.device import FRAME_WORDS
@@ -79,6 +79,11 @@ class CrcScrubber:
         self.error_irq = InterruptLine(sim, name=f"{name}.err")
         #: Pulses True at the end of every pass (pass result as last_result).
         self.pass_done = Signal(sim, initial=False, name=f"{name}.pass")
+        #: Optional repair hook: called with the failing
+        #: :class:`ScrubResult` whenever a pass detects a mismatch — the
+        #: resilience layer registers here to queue a golden-bitstream
+        #: re-write of the corrupted region.
+        self.on_mismatch: Optional[Callable[["ScrubResult"], None]] = None
         self._expected: Dict[str, int] = {}
         self.enabled = False
         self.passes_completed = 0
@@ -162,6 +167,8 @@ class CrcScrubber:
             self.errors_detected += 1
             self._m_mismatches.inc()
             self.error_irq.assert_()
+            if self.on_mismatch is not None:
+                self.on_mismatch(result)
         self.pass_done.set(True)
         self.pass_done.set(False)
         return result

@@ -91,7 +91,13 @@ class AxiDmaEngine:
         self._source_addr = 0
         self.bytes_moved = 0
         self.transfers_completed = 0
+        self.resets_issued = 0
+        self._m_resets = self.metrics.counter(f"{name}.resets")
         self._active: Optional[object] = None
+        #: Outstanding stream-space reservation of the in-flight transfer
+        #: (event, words), handed back on reset so an aborted producer
+        #: cannot leak FIFO space.
+        self._reservation: Optional[tuple] = None
 
     # -- register interface (as the PS driver sees it) -----------------------
     def reg_write(self, offset: int, value: int) -> None:
@@ -137,8 +143,26 @@ class AxiDmaEngine:
 
     # -- engine ------------------------------------------------------------------
     def _reset(self) -> None:
+        """Soft reset (DMACR.Reset): halt the engine, kill any transfer.
+
+        The real block abandons the in-flight datamover command on reset;
+        here the transfer process is interrupted and its outstanding
+        stream-space reservation is handed back so the FIFO accounting
+        stays exact.  Words already pushed onto the stream remain queued —
+        the ICAP abort path is responsible for quiescing the consumer.
+        """
+        active = self._active
+        if active is not None and getattr(active, "is_alive", False):
+            active.interrupt("dma-reset")
+        self._active = None
+        if self._reservation is not None:
+            event, words = self._reservation
+            self._reservation = None
+            self.stream.cancel_reserve(event, words)
         self._control = 0
         self._status = DMASR_HALTED | DMASR_IDLE
+        self.resets_issued += 1
+        self._m_resets.inc()
         self.ioc_irq.deassert()
 
     def _start(self, addr: int, length: int) -> None:
@@ -158,7 +182,9 @@ class AxiDmaEngine:
         while remaining:
             burst_bytes = min(self.max_burst_bytes, remaining)
             burst_words = (burst_bytes + 3) // 4
-            yield self.stream.reserve(burst_words)
+            reserve = self.stream.reserve(burst_words)
+            self._reservation = (reserve, burst_words)
+            yield reserve
             # Command issue overhead is paid in the over-clocked domain:
             # faster clock, smaller gap — until the memory path dominates.
             yield self.clock.wait_cycles(self.cmd_overhead_cycles)
@@ -167,6 +193,7 @@ class AxiDmaEngine:
             words = list(struct.unpack(f">{len(data) // 4}I", data))
             is_last = remaining == burst_bytes
             self.stream.push(StreamBurst(words=words, last=is_last))
+            self._reservation = None
             cursor += burst_bytes
             remaining -= burst_bytes
             self.bytes_moved += burst_bytes
@@ -175,8 +202,12 @@ class AxiDmaEngine:
 
         # Completion means the stream slave accepted the last beat: wait
         # for the FIFO to drain fully before declaring the transfer done.
-        yield self.stream.reserve(self.stream.fifo_words)
+        drain = self.stream.reserve(self.stream.fifo_words)
+        self._reservation = (drain, self.stream.fifo_words)
+        yield drain
+        self._reservation = None
         self.stream.release(self.stream.fifo_words)
+        self._active = None
 
         self._status |= DMASR_IDLE
         self.transfers_completed += 1

@@ -19,6 +19,7 @@ from . import (
     fig6,
     methodology,
     proposed,
+    recovery,
     sensitivity,
     table1,
     table2,
@@ -33,6 +34,7 @@ __all__ = [
     "fig5",
     "fig6",
     "proposed",
+    "recovery",
     "sensitivity",
     "table1",
     "table2",

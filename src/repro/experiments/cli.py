@@ -37,6 +37,7 @@ from . import (
     fig6,
     methodology,
     proposed,
+    recovery,
     table1,
     table2,
     sensitivity,
@@ -89,6 +90,10 @@ def _run_sensitivity(runner: SweepRunner) -> str:
     return sensitivity.format_report(sensitivity.run_sensitivity(runner=runner))
 
 
+def _run_recovery(runner: SweepRunner) -> str:
+    return recovery.format_report(recovery.run_recovery(runner=runner))
+
+
 EXPERIMENTS: Dict[str, Callable[[SweepRunner], str]] = {
     "table1": _run_table1,
     "fig5": _run_fig5,
@@ -100,6 +105,7 @@ EXPERIMENTS: Dict[str, Callable[[SweepRunner], str]] = {
     "methodology": _run_methodology,
     "campaign": _run_campaign,
     "sensitivity": _run_sensitivity,
+    "recovery": _run_recovery,
 }
 
 

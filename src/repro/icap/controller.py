@@ -48,6 +48,7 @@ class IcapController:
         self._m_stall_cycles = self.metrics.counter(f"{name}.stall_cycles")
         self._m_corrupted = self.metrics.counter(f"{name}.corrupted_words")
         self._m_transfers = self.metrics.counter(f"{name}.transfers")
+        self._m_aborts = self.metrics.counter(f"{name}.aborts")
         #: High while a configuration stream is being consumed.
         self.busy = Signal(sim, initial=False, name=f"{name}.busy")
         #: Rises when the stream desyncs (configuration done).
@@ -58,6 +59,7 @@ class IcapController:
         #: when the timing model says the data path is past its fmax).
         self.word_corruptor: Optional[Callable[[List[int]], List[int]]] = None
         self.words_consumed = 0
+        self.aborted_transfers = 0
         sim.process(self._consume(), name=f"{name}.consumer", daemon=True)
 
     def begin_transfer(self) -> None:
@@ -65,6 +67,34 @@ class IcapController:
         self.port.reset()
         self.done.set(False)
         self._m_transfers.inc()
+
+    #: Abort quiesce polls before giving up (a wedged producer bug, not a
+    #: timing failure — the producer must be halted before aborting).
+    ABORT_POLL_LIMIT = 100_000
+
+    def abort(self):
+        """Abort an in-flight transfer (process generator).
+
+        The producer (DMA) must already be halted.  Whatever it pushed
+        before dying is consumed and discarded at stream rate — the
+        configuration port is reset *afterwards*, so stale words cannot
+        leave a partially decoded packet state behind — then the busy and
+        done flags are cleared so the scrubber's busy gate reopens.
+        """
+        polls = 0
+        while self.stream.queued_bursts or self.stream.free_words < self.stream.fifo_words:
+            polls += 1
+            if polls > self.ABORT_POLL_LIMIT:
+                raise RuntimeError(
+                    f"{self.name}: abort cannot quiesce the stream "
+                    f"(producer still running?)"
+                )
+            yield self.clock.wait_cycles(16)
+        self.port.reset()
+        self.busy.set(False)
+        self.done.set(False)
+        self.aborted_transfers += 1
+        self._m_aborts.inc()
 
     def _consume(self):
         while True:

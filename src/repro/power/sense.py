@@ -53,5 +53,10 @@ class CurrentSense:
         return round(power / self.resolution_w) * self.resolution_w
 
     def read_pdr_power_w(self) -> float:
-        """Board sample minus the P0 baseline (the paper's P_PDR)."""
-        return self.read_board_power_w() - self.model.params.p0_board_w
+        """Board sample minus the P0 baseline (the paper's P_PDR).
+
+        Clamped at zero: meter quantisation can round the board sample
+        below the idle baseline, and a transfer never draws negative
+        power.
+        """
+        return max(0.0, self.read_board_power_w() - self.model.params.p0_board_w)

@@ -1,0 +1,22 @@
+"""Fault-recovery layer: close the detect→recover loop.
+
+The firmware (``repro.core``) *detects* over-clocking failures; this
+package *recovers* from them.  :class:`RecoveryPolicy` decides how hard
+to fight (attempt budget, frequency backoff ladder, per-failure-mode
+actions), :class:`ResilientReconfigurator` drives the retry/repair loop
+around a :class:`~repro.core.PdrSystem`, and :class:`FrequencyGovernor`
+learns which operating points to quarantine from observed outcomes only.
+"""
+
+from .governor import FrequencyGovernor
+from .policy import RecoveryPolicy
+from .reconfigurator import AttemptRecord, RecoveryOutcome, ResilientReconfigurator, detect_modes
+
+__all__ = [
+    "AttemptRecord",
+    "FrequencyGovernor",
+    "RecoveryOutcome",
+    "RecoveryPolicy",
+    "ResilientReconfigurator",
+    "detect_modes",
+]

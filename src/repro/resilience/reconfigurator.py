@@ -1,0 +1,256 @@
+"""The detect→recover loop around :class:`~repro.core.PdrSystem`.
+
+The firmware detects over-clocking failures (missing completion
+interrupt, read-back CRC mismatch) but, on its own, leaves the damage in
+place: a timed-out transfer is abandoned and a corrupted region stays
+corrupted.  :class:`ResilientReconfigurator` closes the loop:
+
+* **IRQ timeout** (control-path hang): the firmware sequence has already
+  reset the DMA engine and aborted the in-flight ICAP transfer (see
+  :meth:`~repro.core.PdrSystem.abort_transfer`); the reconfigurator
+  retries the whole transfer at a frequency from the policy's backoff
+  ladder.
+* **CRC mismatch** (data-path corruption): the golden bitstream is
+  re-written — a marginal violation gets one same-frequency retry (the
+  salted fault injector re-draws the corruption), then the ladder backs
+  the clock off until the words land intact.
+* Every outcome feeds the :class:`~repro.resilience.FrequencyGovernor`,
+  which quarantines operating points after repeated failures and clamps
+  later requests below them.
+
+All recovery activity is observable: ``resilience.*`` counters and
+histograms live in the system's metrics registry, and each logical
+reconfiguration is wrapped in a ``recover`` span (mirrored into the
+system trace) so time-to-repair shows up next to the firmware phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core import PdrSystem, ReconfigResult
+from ..fabric import Asp
+from ..obs import SpanRecorder
+from ..timing import FailureMode
+
+from .governor import FrequencyGovernor
+from .policy import RecoveryPolicy
+
+__all__ = ["AttemptRecord", "RecoveryOutcome", "ResilientReconfigurator"]
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One attempt of a recovered reconfiguration (plain data)."""
+
+    attempt: int
+    requested_mhz: float
+    achieved_mhz: float
+    interrupt_seen: bool
+    crc_valid: bool
+    detected_modes: tuple
+    latency_us: Optional[float]
+
+    @property
+    def succeeded(self) -> bool:
+        return self.interrupt_seen and self.crc_valid
+
+
+@dataclass
+class RecoveryOutcome:
+    """Outcome of one logical reconfiguration under recovery."""
+
+    region: str
+    requested_freq_mhz: float
+    temp_c: float
+    attempts: List[AttemptRecord] = field(default_factory=list)
+    #: True when the final attempt fully succeeded.
+    recovered: bool = False
+    #: Frequency of the successful attempt (None if the budget ran out).
+    final_freq_mhz: Optional[float] = None
+    #: Sim-time from the first detected failure to the final success
+    #: (None when the first try succeeded or nothing ever succeeded).
+    recovery_latency_us: Optional[float] = None
+    #: Operating points the governor newly quarantined during this loop.
+    newly_quarantined: int = 0
+    #: Requests clamped by the governor before the first attempt.
+    governor_clamped: bool = False
+
+    @property
+    def injected_failure(self) -> bool:
+        """Did the first attempt fail (i.e. was there anything to recover)?"""
+        return bool(self.attempts) and not self.attempts[0].succeeded
+
+    @property
+    def attempts_used(self) -> int:
+        return len(self.attempts)
+
+    @property
+    def first_failure_modes(self) -> tuple:
+        if not self.injected_failure:
+            return ()
+        return self.attempts[0].detected_modes
+
+    def summary(self) -> str:
+        if not self.injected_failure:
+            return "ok"
+        if self.recovered:
+            return f"rec:{self.attempts_used}@{self.final_freq_mhz:.0f}"
+        return "FAIL"
+
+
+def detect_modes(result: ReconfigResult) -> tuple:
+    """Failure modes as the firmware *observes* them (no oracle).
+
+    A missing completion interrupt reads as a control-path hang; a CRC
+    mismatch as data-path corruption.  ``result.failure_modes`` (the
+    timing model's ground truth) is deliberately not consulted.
+    """
+    modes = []
+    if not result.interrupt_seen:
+        modes.append(FailureMode.CONTROL_HANG)
+    if not result.crc_valid:
+        modes.append(FailureMode.DATA_CORRUPT)
+    return tuple(modes)
+
+
+class ResilientReconfigurator:
+    """Retry/repair driver between the experiments and the PDR system."""
+
+    def __init__(
+        self,
+        system: PdrSystem,
+        policy: Optional[RecoveryPolicy] = None,
+        governor: Optional[FrequencyGovernor] = None,
+    ):
+        self.system = system
+        self.policy = policy or RecoveryPolicy()
+        self.governor = governor or FrequencyGovernor(
+            quarantine_after=self.policy.quarantine_after,
+            metrics=system.metrics,
+        )
+        metrics = system.metrics
+        self._m_attempts = metrics.counter("resilience.attempts")
+        self._m_retries = metrics.counter("resilience.retries")
+        self._m_backoffs = metrics.counter("resilience.backoffs")
+        self._m_failures = metrics.counter("resilience.failures_detected")
+        self._m_recoveries = metrics.counter("resilience.recoveries")
+        self._m_giveups = metrics.counter("resilience.giveups")
+        self._m_repairs = metrics.counter("resilience.scrub_repairs")
+        self._m_repair_us = metrics.histogram("resilience.time_to_repair_us")
+        self._spans = SpanRecorder(
+            now_fn=lambda: system.sim.now,
+            tracer=system.trace,
+            source="resilience",
+            metrics=metrics,
+            metrics_prefix="resilience.phase.",
+        )
+        #: region -> last ASP successfully loaded (the golden content the
+        #: scrub-triggered repair path re-writes).
+        self._golden: Dict[str, Asp] = {}
+        #: Regions the background scrubber flagged as corrupted.
+        self.pending_repairs: List[str] = []
+
+    # -- main entry ----------------------------------------------------------
+    def reconfigure(self, region: str, asp: Asp, freq_mhz: float) -> RecoveryOutcome:
+        """One logical reconfiguration, retried within the policy budget."""
+        system = self.system
+        policy = self.policy
+        temp_c = system.die_temp_c
+        authorised = self.governor.authorise(region, freq_mhz, temp_c)
+        outcome = RecoveryOutcome(
+            region=region,
+            requested_freq_mhz=freq_mhz,
+            temp_c=temp_c,
+            governor_clamped=authorised < freq_mhz,
+        )
+        freq = authorised
+        first_failure_ns: Optional[float] = None
+        with self._spans.span("recover", region=region, freq_mhz=freq_mhz):
+            for attempt in range(policy.max_attempts):
+                self._m_attempts.inc()
+                if attempt > 0:
+                    self._m_retries.inc()
+                result = system.reconfigure(region, asp, freq, attempt=attempt)
+                modes = detect_modes(result)
+                outcome.attempts.append(
+                    AttemptRecord(
+                        attempt=attempt,
+                        requested_mhz=freq,
+                        achieved_mhz=result.freq_mhz,
+                        interrupt_seen=result.interrupt_seen,
+                        crc_valid=result.crc_valid,
+                        detected_modes=modes,
+                        latency_us=result.latency_us,
+                    )
+                )
+                if result.succeeded:
+                    self.governor.record_success(
+                        region, result.freq_mhz, result.temp_c
+                    )
+                    self._golden[region] = asp
+                    outcome.recovered = True
+                    outcome.final_freq_mhz = result.freq_mhz
+                    if first_failure_ns is not None:
+                        repair_us = (system.sim.now - first_failure_ns) / 1e3
+                        outcome.recovery_latency_us = repair_us
+                        self._m_recoveries.inc()
+                        self._m_repair_us.observe(repair_us)
+                    break
+                # -- failure detected -------------------------------------
+                self._m_failures.inc()
+                if first_failure_ns is None:
+                    first_failure_ns = system.sim.now
+                if self.governor.record_failure(
+                    region, result.freq_mhz, result.temp_c, modes
+                ):
+                    outcome.newly_quarantined += 1
+                system.trace.emit(
+                    system.sim.now,
+                    "resilience",
+                    f"attempt {attempt} at {result.freq_mhz:g} MHz failed "
+                    f"({', '.join(modes) or 'unknown'})",
+                )
+                next_freq = policy.next_frequency(freq, attempt, modes)
+                if next_freq < freq:
+                    self._m_backoffs.inc()
+                freq = next_freq
+            else:
+                self._m_giveups.inc()
+        return outcome
+
+    # -- scrub-triggered repair -------------------------------------------------
+    def attach_scrubber(self) -> None:
+        """Register on the system scrubber's mismatch hook.
+
+        Once attached, any scrub pass (including the background loop)
+        that detects a corrupted region queues it here; call
+        :meth:`repair_pending` to re-write the golden content.
+        """
+        self.system.scrubber.on_mismatch = self._on_scrub_mismatch
+
+    def _on_scrub_mismatch(self, scrub) -> None:
+        if scrub.region not in self.pending_repairs:
+            self.pending_repairs.append(scrub.region)
+
+    def repair_pending(self) -> List[RecoveryOutcome]:
+        """Re-write the golden bitstream of every scrub-flagged region.
+
+        Repairs run at the region's learned safe frequency (falling back
+        to the policy floor when nothing is known yet) so the repair
+        itself cannot re-trigger the failure that corrupted the region.
+        """
+        outcomes = []
+        while self.pending_repairs:
+            region = self.pending_repairs.pop(0)
+            asp = self._golden.get(region)
+            if asp is None:
+                raise KeyError(
+                    f"scrubber flagged {region!r} but no golden content "
+                    f"was ever loaded through this reconfigurator"
+                )
+            freq = self.governor.safe_fmax_mhz(region) or self.policy.freq_floor_mhz
+            self._m_repairs.inc()
+            outcomes.append(self.reconfigure(region, asp, freq))
+        return outcomes

@@ -39,21 +39,44 @@ def _xorshift32(state: int) -> int:
     return state & 0xFFFFFFFF
 
 
+def _salt_words(region: str) -> List[int]:
+    """Pack a region name into 32-bit words for seed folding."""
+    data = region.encode("utf-8")
+    return [
+        int.from_bytes(data[i : i + 4].ljust(4, b"\0"), "big")
+        for i in range(0, len(data), 4)
+    ]
+
+
 def make_word_corruptor(
-    freq_mhz: float, fmax_mhz: float, temp_c: float
+    freq_mhz: float,
+    fmax_mhz: float,
+    temp_c: float,
+    region: str = "",
+    attempt: int = 0,
 ) -> Callable[[List[int]], List[int]]:
     """A deterministic ``words -> words`` fault injector.
 
-    The RNG seed combines the operating point, so the *same* run always
-    corrupts the same words, while different operating points corrupt
-    differently.
+    The RNG seed combines the operating point with the target region and
+    the retry attempt index, so the *same* (point, region, attempt) run
+    always corrupts the same words, while a retry of the same transfer
+    draws a fresh corruption pattern — without it, a deterministic retry
+    at the same operating point replays bit-identical corruption and can
+    never succeed, even when the expected corrupted-word count is < 1.
     """
+    if attempt < 0:
+        raise ValueError("attempt index cannot be negative")
     rate = corruption_rate(freq_mhz, fmax_mhz)
     if rate <= 0.0:
         return lambda words: words
     threshold = int(rate * 0xFFFFFFFF)
     seed = crc32c_words(
-        [int(freq_mhz * 1000) & 0xFFFFFFFF, int(temp_c * 1000) & 0xFFFFFFFF]
+        [
+            int(freq_mhz * 1000) & 0xFFFFFFFF,
+            int(temp_c * 1000) & 0xFFFFFFFF,
+            attempt & 0xFFFFFFFF,
+            *_salt_words(region),
+        ]
     ) or 0x1234ABCD
     state_box = [seed]
 

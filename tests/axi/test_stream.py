@@ -174,3 +174,30 @@ def test_reserve_fifo_fairness():
     sim.process(consumer(sim))
     sim.run()
     assert order == ["a", "b", "c"]
+
+
+def test_cancel_reserve_returns_granted_space():
+    """Regression: tearing down a producer holding granted-but-unpushed
+    space must return it, or the FIFO shrinks forever (the DMA-reset
+    leak)."""
+    sim = Simulator()
+    stream = AxiStream(sim, fifo_words=8)
+    grant = stream.reserve(8)
+    assert grant.triggered
+    assert stream.free_words == 0
+    stream.cancel_reserve(grant, 8)
+    assert stream.free_words == 8
+
+
+def test_cancel_reserve_removes_queued_waiter():
+    sim = Simulator()
+    stream = AxiStream(sim, fifo_words=8)
+    held = stream.reserve(8)
+    assert held.triggered
+    waiting = stream.reserve(4)
+    assert not waiting.triggered
+    stream.cancel_reserve(waiting, 4)
+    # The dead waiter must not be woken (and must not eat the space).
+    stream.release(8)
+    assert not waiting.triggered
+    assert stream.free_words == 8

@@ -20,6 +20,7 @@ def test_experiment_registry_covers_every_artifact():
         "methodology",
         "campaign",
         "sensitivity",
+        "recovery",
     }
 
 

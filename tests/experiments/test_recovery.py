@@ -1,0 +1,78 @@
+"""End-to-end tests of the fault-injection recovery campaign."""
+
+import pytest
+
+from repro.exec import SweepRunner
+from repro.experiments import recovery
+from repro.resilience import RecoveryPolicy
+
+# A small grid that straddles the failure frontier at both temperature
+# extremes: 280 MHz always passes, 320/340 MHz always fail first try.
+FREQS = [280.0, 320.0, 340.0]
+TEMPS = [40.0, 100.0]
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return recovery.run_recovery(freqs_mhz=FREQS, temps_c=TEMPS)
+
+
+def test_failures_injected_and_all_recovered(campaign):
+    injected = campaign.injected()
+    assert len(injected) == 4  # 320 and 340 MHz at both temperatures
+    assert campaign.recovery_rate == 1.0
+    assert campaign.unrecovered() == []
+
+
+def test_in_spec_points_untouched(campaign):
+    for temp in TEMPS:
+        outcome = campaign.cells[(280.0, temp)]
+        assert not outcome.injected_failure
+        assert outcome.attempts_used == 1
+
+
+def test_recovery_latency_reported(campaign):
+    latencies = campaign.recovery_latencies_us()
+    assert len(latencies) == 4
+    assert all(lat > 0 for lat in latencies)
+
+
+def test_detected_modes_counted(campaign):
+    modes = campaign.mode_counts()
+    assert modes.get("control-hang", 0) >= 4
+
+
+def test_report_renders(campaign):
+    report = recovery.format_report(campaign)
+    assert "rec:" in report
+    assert "100.0 %" in report
+    assert "acceptance floor" in report
+
+
+def test_parallel_run_is_byte_identical():
+    serial = recovery.format_report(
+        recovery.run_recovery(freqs_mhz=[320.0], temps_c=TEMPS)
+    )
+    parallel = recovery.format_report(
+        recovery.run_recovery(
+            freqs_mhz=[320.0], temps_c=TEMPS, runner=SweepRunner(jobs=2)
+        )
+    )
+    assert serial == parallel
+
+
+def test_policy_flows_through_the_sweep():
+    # A one-attempt policy cannot recover a frontier crossing.
+    crippled = recovery.run_recovery(
+        freqs_mhz=[340.0],
+        temps_c=[40.0],
+        policy=RecoveryPolicy(max_attempts=1),
+    )
+    assert crippled.recovery_rate == 0.0
+    assert crippled.unrecovered() == [(340.0, 40.0)]
+
+
+def test_cli_lists_recovery_experiment():
+    from repro.experiments.cli import EXPERIMENTS
+
+    assert "recovery" in EXPERIMENTS

@@ -1,0 +1,58 @@
+"""Regression tests for the fault-injector seed salt.
+
+The corruptor used to seed only from (frequency, temperature), so a
+retry of a failed transfer replayed bit-identical corruption and could
+never succeed at the same operating point.  The seed now folds in the
+target region and the attempt index — reproducible per (point, region,
+attempt), fresh across retries.
+"""
+
+import pytest
+
+from repro.timing import make_word_corruptor
+
+FREQ, FMAX, TEMP = 330.0, 300.0, 40.0
+WORDS = list(range(4096))
+
+
+def _corrupt(**kwargs):
+    corruptor = make_word_corruptor(FREQ, FMAX, TEMP, **kwargs)
+    return corruptor(list(WORDS))
+
+
+def test_same_point_region_attempt_is_reproducible():
+    first = _corrupt(region="RP2", attempt=0)
+    second = _corrupt(region="RP2", attempt=0)
+    assert first == second
+    assert first != WORDS  # the violation really corrupts something
+
+
+def test_attempt_index_redraws_the_corruption():
+    assert _corrupt(region="RP2", attempt=0) != _corrupt(region="RP2", attempt=1)
+    assert _corrupt(region="RP2", attempt=1) != _corrupt(region="RP2", attempt=2)
+
+
+def test_region_salts_the_seed():
+    assert _corrupt(region="RP1", attempt=0) != _corrupt(region="RP2", attempt=0)
+
+
+def test_long_region_names_fold_fully():
+    # Names longer than one 32-bit word must still differentiate.
+    a = _corrupt(region="region_alpha", attempt=0)
+    b = _corrupt(region="region_alphb", attempt=0)
+    assert a != b
+
+
+def test_defaults_are_backward_compatible():
+    # Omitting the salt arguments is the legacy (freq, temp) seed.
+    assert _corrupt() == _corrupt(region="", attempt=0)
+
+
+def test_negative_attempt_rejected():
+    with pytest.raises(ValueError):
+        make_word_corruptor(FREQ, FMAX, TEMP, region="RP2", attempt=-1)
+
+
+def test_within_fmax_is_identity_regardless_of_salt():
+    corruptor = make_word_corruptor(100.0, 300.0, TEMP, region="RP2", attempt=7)
+    assert corruptor(list(WORDS)) == WORDS

@@ -1,0 +1,102 @@
+"""Tests for the learned frequency governor (quarantine + clamping)."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.resilience import FrequencyGovernor
+from repro.timing import FailureMode
+
+
+def test_quarantine_after_n_consecutive_failures():
+    governor = FrequencyGovernor(quarantine_after=2)
+    assert not governor.record_failure("RP2", 320.0, 100.0, [FailureMode.CONTROL_HANG])
+    assert not governor.is_quarantined("RP2", 320.0, 100.0)
+    assert governor.record_failure("RP2", 320.0, 100.0, [FailureMode.CONTROL_HANG])
+    assert governor.is_quarantined("RP2", 320.0, 100.0)
+    # Already quarantined: further failures do not re-report.
+    assert not governor.record_failure("RP2", 320.0, 100.0, [FailureMode.CONTROL_HANG])
+    assert governor.quarantined_points() == [("RP2", 64, 10)]
+
+
+def test_success_resets_the_failure_streak():
+    governor = FrequencyGovernor(quarantine_after=2)
+    governor.record_failure("RP2", 320.0, 100.0)
+    governor.record_success("RP2", 320.0, 100.0)
+    # The earlier failure no longer counts toward quarantine.
+    assert not governor.record_failure("RP2", 320.0, 100.0)
+    assert not governor.is_quarantined("RP2", 320.0, 100.0)
+
+
+def test_operating_points_are_bucketed():
+    governor = FrequencyGovernor(quarantine_after=2, freq_bucket_mhz=5.0)
+    governor.record_failure("RP2", 320.0, 100.0)
+    # 321 MHz lands in the same 5 MHz bucket; 330 MHz does not.
+    assert governor.record_failure("RP2", 321.0, 100.0)
+    assert not governor.is_quarantined("RP2", 330.0, 100.0)
+
+
+def test_regions_do_not_share_history():
+    governor = FrequencyGovernor(quarantine_after=2)
+    governor.record_failure("RP1", 320.0, 100.0)
+    assert not governor.record_failure("RP2", 320.0, 100.0)
+
+
+def test_safe_fmax_tracks_best_success():
+    governor = FrequencyGovernor()
+    assert governor.safe_fmax_mhz("RP2") is None
+    governor.record_success("RP2", 250.0, 40.0)
+    governor.record_success("RP2", 280.0, 40.0)
+    governor.record_success("RP2", 260.0, 40.0)
+    assert governor.safe_fmax_mhz("RP2") == 280.0
+
+
+def test_authorise_passes_requests_below_quarantine():
+    governor = FrequencyGovernor(quarantine_after=1)
+    governor.record_failure("RP2", 320.0, 100.0)
+    assert governor.authorise("RP2", 250.0, 100.0) == 250.0
+
+
+def test_authorise_clamps_to_learned_safe_fmax():
+    governor = FrequencyGovernor(quarantine_after=1)
+    governor.record_success("RP2", 280.0, 100.0)
+    governor.record_failure("RP2", 320.0, 100.0)
+    assert governor.authorise("RP2", 340.0, 100.0) == 280.0
+
+
+def test_authorise_clamps_one_step_below_when_nothing_known():
+    governor = FrequencyGovernor(quarantine_after=1, clamp_step_mhz=10.0)
+    governor.record_failure("RP2", 320.0, 100.0)
+    assert governor.authorise("RP2", 340.0, 100.0) == pytest.approx(310.0)
+
+
+def test_authorise_is_per_temperature_bucket():
+    governor = FrequencyGovernor(quarantine_after=1)
+    governor.record_failure("RP2", 320.0, 100.0)
+    # At 40 C the same frequency was never seen to fail.
+    assert governor.authorise("RP2", 340.0, 40.0) == 340.0
+
+
+def test_authorise_rejects_nonpositive_request():
+    governor = FrequencyGovernor()
+    with pytest.raises(ValueError):
+        governor.authorise("RP2", 0.0, 40.0)
+
+
+def test_invalid_knobs_rejected():
+    with pytest.raises(ValueError):
+        FrequencyGovernor(quarantine_after=0)
+    with pytest.raises(ValueError):
+        FrequencyGovernor(freq_bucket_mhz=0.0)
+    with pytest.raises(ValueError):
+        FrequencyGovernor(clamp_step_mhz=-1.0)
+
+
+def test_metrics_published():
+    metrics = MetricsRegistry()
+    governor = FrequencyGovernor(quarantine_after=1, metrics=metrics)
+    governor.record_failure("RP2", 320.0, 100.0, [FailureMode.CONTROL_HANG])
+    governor.record_success("RP2", 280.0, 100.0)
+    governor.authorise("RP2", 340.0, 100.0)
+    assert metrics.get("resilience.quarantines").value == 1
+    assert metrics.get("resilience.governor_clamps").value == 1
+    assert metrics.get("resilience.safe_fmax_mhz.RP2").value == 280.0

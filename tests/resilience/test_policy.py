@@ -1,0 +1,91 @@
+"""Tests for the recovery policy (attempt budget + backoff ladder)."""
+
+import pytest
+
+from repro.resilience import RecoveryPolicy
+from repro.timing import FailureMode
+
+
+def test_defaults_valid():
+    policy = RecoveryPolicy()
+    assert policy.max_attempts == 4
+    assert 0.0 < policy.backoff_factor < 1.0
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(max_attempts=0),
+        dict(backoff_factor=0.0),
+        dict(backoff_factor=1.0),
+        dict(backoff_factor=1.5),
+        dict(freq_floor_mhz=0.0),
+        dict(quarantine_after=0),
+    ],
+)
+def test_invalid_knobs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        RecoveryPolicy(**kwargs)
+
+
+def test_control_hang_backs_off_immediately():
+    policy = RecoveryPolicy()
+    next_freq = policy.next_frequency(300.0, 0, [FailureMode.CONTROL_HANG])
+    assert next_freq == pytest.approx(270.0)
+
+
+def test_pure_data_corrupt_gets_one_same_frequency_retry():
+    policy = RecoveryPolicy()
+    assert policy.next_frequency(300.0, 0, [FailureMode.DATA_CORRUPT]) == 300.0
+    # ...but only the first retry; after that the ladder engages.
+    assert policy.next_frequency(300.0, 1, [FailureMode.DATA_CORRUPT]) == pytest.approx(270.0)
+
+
+def test_mixed_modes_back_off():
+    policy = RecoveryPolicy()
+    modes = [FailureMode.DATA_CORRUPT, FailureMode.CONTROL_HANG]
+    assert policy.next_frequency(300.0, 0, modes) == pytest.approx(270.0)
+
+
+def test_same_frequency_retry_can_be_disabled():
+    policy = RecoveryPolicy(retry_same_on_data_corrupt=False)
+    assert policy.next_frequency(300.0, 0, [FailureMode.DATA_CORRUPT]) == pytest.approx(270.0)
+
+
+def test_backoff_respects_floor():
+    policy = RecoveryPolicy(freq_floor_mhz=100.0)
+    assert policy.next_frequency(105.0, 0, [FailureMode.CONTROL_HANG]) == 100.0
+    assert policy.next_frequency(100.0, 1, [FailureMode.CONTROL_HANG]) == 100.0
+
+
+def test_ladder_covers_attempt_budget():
+    policy = RecoveryPolicy(max_attempts=4, backoff_factor=0.9)
+    rungs = policy.ladder(360.0)
+    assert rungs == [pytest.approx(324.0), pytest.approx(291.6), pytest.approx(262.44)]
+
+
+def test_ladder_stops_at_floor():
+    policy = RecoveryPolicy(max_attempts=10, backoff_factor=0.5, freq_floor_mhz=100.0)
+    rungs = policy.ladder(360.0)
+    assert rungs[-1] == 100.0
+    # No rungs below the floor, and no duplicates after hitting it.
+    assert rungs == [180.0, 100.0]
+
+
+def test_ladder_recovers_paper_grid():
+    # The acceptance bound: from any grid frequency up to 360 MHz the
+    # ladder must reach a rung below the worst-case (100 C) control-path
+    # fmax of ~299.5 MHz within the default attempt budget.
+    policy = RecoveryPolicy()
+    worst_fmax = 299.5
+    for freq in range(100, 361, 20):
+        candidates = [float(freq)] + policy.ladder(float(freq))
+        assert any(rung <= worst_fmax for rung in candidates), freq
+
+
+def test_mapping_round_trip():
+    policy = RecoveryPolicy(max_attempts=6, backoff_factor=0.8, freq_floor_mhz=50.0)
+    mapping = policy.to_mapping()
+    assert isinstance(mapping, dict)
+    assert RecoveryPolicy.from_mapping(mapping) == policy
+    assert RecoveryPolicy.from_mapping(None) == RecoveryPolicy()
