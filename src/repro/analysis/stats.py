@@ -37,14 +37,21 @@ def summarize(values: Sequence[float]) -> Summary:
     if not data:
         raise ValueError("cannot summarize an empty sample")
     count = len(data)
-    mean = sum(data) / count
-    variance = sum((x - mean) ** 2 for x in data) / count if count > 1 else 0.0
+    minimum = min(data)
+    maximum = max(data)
+    # fsum keeps the accumulation exact; the final division can still
+    # round the mean one ULP outside [min, max] (e.g. three identical
+    # values), so clamp it back into the sample's range.
+    mean = min(max(math.fsum(data) / count, minimum), maximum)
+    variance = (
+        math.fsum((x - mean) ** 2 for x in data) / count if count > 1 else 0.0
+    )
     return Summary(
         count=count,
         mean=mean,
         stdev=math.sqrt(variance),
-        minimum=min(data),
-        maximum=max(data),
+        minimum=minimum,
+        maximum=maximum,
     )
 
 

@@ -57,6 +57,16 @@ class AxiStream:
         self._space_waiters: Deque[Tuple[int, Event, float]] = deque()
         self._reserve_event_name = f"{name}.reserve"
         self.total_words = 0
+        #: Optional :class:`~repro.verify.InvariantMonitor`; ``None`` costs a
+        #: single identity check per stream operation.
+        self.monitor = None
+        #: Conservation ledgers for the invariant monitor.  ``granted`` /
+        #: ``released`` track FIFO space reservations; ``queued`` /
+        #: ``consumed`` track words pushed onto vs popped off the stream.
+        self.stat_granted_words = 0
+        self.stat_released_words = 0
+        self.stat_queued_words = 0
+        self.stat_consumed_words = 0
         self.metrics = metrics if metrics is not None else MetricsRegistry(now_fn=lambda: sim.now)
         self._m_occupancy = self.metrics.gauge(f"{name}.occupancy_words")
         self._m_depth = self.metrics.histogram(f"{name}.fifo_depth_words")
@@ -75,11 +85,14 @@ class AxiStream:
         event = self.sim.event(name=self._reserve_event_name)
         if self._free_words >= words and not self._space_waiters:
             self._free_words -= words
+            self.stat_granted_words += words
             self._m_occupancy.set(self.fifo_words - self._free_words)
             event.succeed()
         else:
             self._m_stalls.inc()
             self._space_waiters.append((words, event, self.sim.now))
+        if self.monitor is not None:
+            self.monitor.on_stream_op(self)
         return event
 
     def cancel_reserve(self, event: Event, words: int) -> None:
@@ -97,23 +110,40 @@ class AxiStream:
         for index, (_need, waiter, _since) in enumerate(self._space_waiters):
             if waiter is event:
                 del self._space_waiters[index]
-                return
+                break
+        if self.monitor is not None:
+            self.monitor.on_stream_op(self)
 
     def push(self, burst: StreamBurst) -> None:
         """Enqueue a burst whose space was previously reserved."""
         self.total_words += len(burst.words)
+        self.stat_queued_words += len(burst.words)
         self._m_words.inc(len(burst.words))
         self._m_depth.observe(self.fifo_words - self._free_words)
         self._bursts.try_put(burst)
+        if self.monitor is not None:
+            self.monitor.on_stream_op(self)
 
     # -- consumer side ---------------------------------------------------------
     def pop(self) -> Event:
         """Wait for the next burst; value is the :class:`StreamBurst`."""
-        return self._bursts.get()
+        event = self._bursts.get()
+        if event.callbacks is not None:
+            event.callbacks.append(self._on_popped)
+        return event
+
+    def _on_popped(self, event: Event) -> None:
+        # Move the delivered burst's words from the queued to the consumed
+        # ledger the instant the consumer receives them.
+        if event._exc is None:
+            words = len(event._value.words)
+            self.stat_queued_words -= words
+            self.stat_consumed_words += words
 
     def release(self, words: int) -> None:
         """Return consumed words to the FIFO space pool."""
         self._free_words += words
+        self.stat_released_words += words
         if self._free_words > self.fifo_words:
             raise AssertionError(f"{self.name}: released more words than consumed")
         while self._space_waiters:
@@ -122,9 +152,12 @@ class AxiStream:
                 break
             self._space_waiters.popleft()
             self._free_words -= need
+            self.stat_granted_words += need
             self._m_stall_ns.inc(self.sim.now - waited_since_ns)
             event.succeed()
         self._m_occupancy.set(self.fifo_words - self._free_words)
+        if self.monitor is not None:
+            self.monitor.on_stream_op(self)
 
     # -- inspection ---------------------------------------------------------------
     @property

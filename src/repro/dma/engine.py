@@ -98,6 +98,9 @@ class AxiDmaEngine:
         #: (event, words), handed back on reset so an aborted producer
         #: cannot leak FIFO space.
         self._reservation: Optional[tuple] = None
+        #: Optional :class:`~repro.verify.InvariantMonitor` checking the
+        #: start/complete/reset state-machine transitions.
+        self.monitor = None
 
     # -- register interface (as the PS driver sees it) -----------------------
     def reg_write(self, offset: int, value: int) -> None:
@@ -164,6 +167,8 @@ class AxiDmaEngine:
         self.resets_issued += 1
         self._m_resets.inc()
         self.ioc_irq.deassert()
+        if self.monitor is not None:
+            self.monitor.on_dma_reset(self)
 
     def _start(self, addr: int, length: int) -> None:
         if not self.running:
@@ -174,11 +179,14 @@ class AxiDmaEngine:
         self._active = self.sim.process(
             self._run(addr, length), name=f"{self.name}.mm2s"
         )
+        if self.monitor is not None:
+            self.monitor.on_dma_start(self)
 
     def _run(self, addr: int, length: int):
         started_ns = self.sim.now
         remaining = length
         cursor = addr
+        pushed_bytes = 0
         while remaining:
             burst_bytes = min(self.max_burst_bytes, remaining)
             burst_words = (burst_bytes + 3) // 4
@@ -194,6 +202,7 @@ class AxiDmaEngine:
             is_last = remaining == burst_bytes
             self.stream.push(StreamBurst(words=words, last=is_last))
             self._reservation = None
+            pushed_bytes += len(words) * 4
             cursor += burst_bytes
             remaining -= burst_bytes
             self.bytes_moved += burst_bytes
@@ -212,6 +221,8 @@ class AxiDmaEngine:
         self._status |= DMASR_IDLE
         self.transfers_completed += 1
         self._m_transfers.inc()
+        if self.monitor is not None:
+            self.monitor.on_dma_complete(self, length, pushed_bytes)
         duration_us = (self.sim.now - started_ns) / 1e3
         self._m_transfer_us.observe(duration_us)
         if duration_us > 0:

@@ -109,6 +109,44 @@ EXPERIMENTS: Dict[str, Callable[[SweepRunner], str]] = {
 }
 
 
+def _run_fuzz_command(args) -> int:
+    """``repro-pdr fuzz``: scenario fuzzing under the invariant monitor.
+
+    Exit status 1 when any invariant violation (or oracle mismatch)
+    survives — CI treats a finding as a failure.
+    """
+    import json
+
+    from ..verify import Scenario, format_report, run_fuzz, run_scenario
+
+    with TELEMETRY_BOOK.capture() as book:
+        if args.replay is not None:
+            scenario = Scenario.from_mapping(json.loads(args.replay))
+            record = run_scenario(scenario.to_mapping())
+            print(json.dumps(record, indent=2, sort_keys=True))
+            violations = record["violations"]
+        else:
+            report = run_fuzz(
+                seed=args.seed,
+                cases=args.cases,
+                shrink=not args.no_shrink,
+                oracle=args.oracle,
+                progress=lambda line: print(f"[fuzz] {line}", file=sys.stderr),
+            )
+            print(format_report(report))
+            violations = report.findings
+    if args.trace_dump is not None:
+        for line in book.tail_traces(args.trace_dump):
+            print(line)
+    if args.metrics_out:
+        book.dump_json(args.metrics_out, experiments=["fuzz"])
+        print(
+            f"wrote metrics for {len(book.registries)} system(s) "
+            f"to {args.metrics_out}"
+        )
+    return 1 if violations else 0
+
+
 def main(argv=None) -> int:
     """Parse arguments and print the requested experiment reports."""
     parser = argparse.ArgumentParser(
@@ -122,8 +160,48 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which paper artifacts to regenerate",
+        choices=sorted(EXPERIMENTS) + ["all", "fuzz"],
+        help=(
+            "which paper artifacts to regenerate; 'fuzz' instead runs the "
+            "deterministic scenario fuzzer under the invariant monitor"
+        ),
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        help="fuzz: base RNG seed (same seed => byte-identical campaign)",
+    )
+    parser.add_argument(
+        "--cases",
+        type=int,
+        default=50,
+        metavar="N",
+        help="fuzz: number of generated scenarios (default 50)",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="fuzz: report violating scenarios without shrinking them",
+    )
+    parser.add_argument(
+        "--oracle",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "fuzz: replay the first N scenarios through the differential "
+            "oracle (replay identity + serial-vs-parallel equivalence)"
+        ),
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="JSON",
+        default=None,
+        help=(
+            "fuzz: run exactly one scenario from its JSON mapping (the "
+            "format printed by a shrunk minimal reproducer)"
+        ),
     )
     parser.add_argument(
         "--jobs",
@@ -165,6 +243,13 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 0:
         parser.error("--jobs must be >= 0 (0 = one worker per CPU)")
+    if args.cases < 1:
+        parser.error("--cases must be >= 1")
+
+    if "fuzz" in args.experiments:
+        if len(args.experiments) != 1:
+            parser.error("'fuzz' cannot be combined with other experiments")
+        return _run_fuzz_command(args)
 
     cache = None
     if args.cache is not None:

@@ -86,6 +86,21 @@ class ConfigMemory:
         for far in self.layout.region_frames(name):
             yield from self._frames[self.layout.frame_index(far)]
 
+    def region_equals(self, name: str, frames: Sequence[Sequence[int]]) -> bool:
+        """True if the region's frames match ``frames`` exactly.
+
+        Comparison without copying — the invariant monitor calls this
+        after every successful reconfiguration against the golden ASP
+        encoding (1304 frames x 101 words per Z-7020 region).
+        """
+        addresses = self.layout.region_frames(name)
+        if len(frames) != len(addresses):
+            return False
+        for far, expected in zip(addresses, frames):
+            if self._frames[self.layout.frame_index(far)] != list(expected):
+                return False
+        return True
+
     def write_region(self, name: str, frames: Sequence[Sequence[int]]) -> None:
         """Directly write a whole region (test/PCAP path, not the ICAP)."""
         addresses = self.layout.region_frames(name)

@@ -60,12 +60,26 @@ class IcapController:
         self.word_corruptor: Optional[Callable[[List[int]], List[int]]] = None
         self.words_consumed = 0
         self.aborted_transfers = 0
+        #: Latched at the *end* of :meth:`abort` (stale in-flight words are
+        #: legitimately drained during the abort itself); cleared when
+        #: :meth:`begin_transfer` re-arms.  While latched, any word reaching
+        #: the configuration port is a protocol violation.
+        self._aborted = False
+        #: Optional :class:`~repro.verify.InvariantMonitor` checking the
+        #: busy/done protocol on every consumed burst.
+        self.monitor = None
         sim.process(self._consume(), name=f"{name}.consumer", daemon=True)
+
+    @property
+    def aborted(self) -> bool:
+        """True between a completed abort and the next ``begin_transfer``."""
+        return self._aborted
 
     def begin_transfer(self) -> None:
         """Arm the controller for a new configuration stream."""
         self.port.reset()
         self.done.set(False)
+        self._aborted = False
         self._m_transfers.inc()
 
     #: Abort quiesce polls before giving up (a wedged producer bug, not a
@@ -94,6 +108,7 @@ class IcapController:
         self.busy.set(False)
         self.done.set(False)
         self.aborted_transfers += 1
+        self._aborted = True
         self._m_aborts.inc()
 
     def _consume(self):
@@ -116,6 +131,8 @@ class IcapController:
                 self._m_corrupted.inc(
                     sum(1 for a, b in zip(original, words) if a != b)
                 )
+            if self.monitor is not None:
+                self.monitor.on_icap_words(self, len(words))
             self.port.feed_words(words)
             self.words_consumed += len(words)
             self._m_words.inc(len(words))

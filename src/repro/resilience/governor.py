@@ -62,6 +62,10 @@ class FrequencyGovernor:
         self._best_success: Dict[str, float] = {}
         #: (region, tbucket) -> lowest quarantined frequency.
         self._lowest_quarantined: Dict[Tuple[str, int], float] = {}
+        #: Optional :class:`~repro.verify.InvariantMonitor` checking that
+        #: authorise() only clamps downward and the quarantine floor is
+        #: monotonically non-increasing.
+        self.monitor = None
 
     # -- bucketing ---------------------------------------------------------------
     def _key(self, region: str, freq_mhz: float, temp_c: float) -> Tuple[str, int, int]:
@@ -97,6 +101,10 @@ class FrequencyGovernor:
         lowest = self._lowest_quarantined.get(low_key)
         if lowest is None or freq_mhz < lowest:
             self._lowest_quarantined[low_key] = freq_mhz
+        if self.monitor is not None:
+            self.monitor.on_governor_quarantine(
+                self, region, key[2], self._lowest_quarantined[low_key]
+            )
         return True
 
     # -- queries -----------------------------------------------------------------
@@ -123,6 +131,10 @@ class FrequencyGovernor:
         low_key = (region, int(temp_c // self.temp_bucket_c))
         lowest = self._lowest_quarantined.get(low_key)
         if lowest is None or freq_mhz < lowest:
+            if self.monitor is not None:
+                self.monitor.on_governor_authorise(
+                    self, region, freq_mhz, temp_c, freq_mhz
+                )
             return freq_mhz
         best = self._best_success.get(region)
         if best is not None and best < lowest:
@@ -132,4 +144,7 @@ class FrequencyGovernor:
         clamped = max(clamped, self.clamp_step_mhz)
         if self._m_clamps is not None and clamped < freq_mhz:
             self._m_clamps.inc()
-        return min(freq_mhz, clamped)
+        granted = min(freq_mhz, clamped)
+        if self.monitor is not None:
+            self.monitor.on_governor_authorise(self, region, freq_mhz, temp_c, granted)
+        return granted

@@ -425,6 +425,10 @@ class Simulator:
         self.events_processed = 0
         self.heap_high_water = 0
         self.processes_spawned = 0
+        #: Optional :class:`~repro.verify.InvariantMonitor` probing every
+        #: step (time monotonicity, single-fire).  ``None`` costs one
+        #: identity check per event.
+        self.monitor = None
 
     # -- time ---------------------------------------------------------------
     @property
@@ -488,6 +492,8 @@ class Simulator:
         if not self._heap:
             raise Deadlock(self._live_processes)
         when, _seq, event = heapq.heappop(self._heap)
+        if self.monitor is not None:
+            self.monitor.on_kernel_event(self, when, event)
         if when < self._now:  # pragma: no cover - guarded by _enqueue
             raise SimulationError("time ran backwards")
         self._now = when

@@ -1,0 +1,315 @@
+"""Runtime invariant monitor for the simulated PDR platform.
+
+Every hardware model in this repository exposes an optional ``monitor``
+attribute (``None`` by default — a single identity check on the hot
+path).  :meth:`InvariantMonitor.attach` wires one monitor into every
+component of a :class:`~repro.core.PdrSystem`; from then on each kernel
+step, stream operation, DMA transition and ICAP word batch is checked
+against the invariants below, and the check/violation totals are
+published as ``verify.*`` metrics in the system's registry.
+
+Invariants checked
+------------------
+
+kernel
+    Event time is monotonically non-decreasing; a processed event never
+    fires twice; the heap never drains while non-daemon processes still
+    wait (no lost wakeups — checked at quiescence).
+stream (:class:`~repro.axi.stream.AxiStream`)
+    Word conservation: every word pushed is either still queued or was
+    consumed; reservation accounting is exact
+    (``granted - released == occupancy``) and never negative; the FIFO
+    occupancy stays within ``[0, fifo_words]``; burst conservation on
+    the underlying channel (``put == got + level``).
+dma (:class:`~repro.dma.engine.AxiDmaEngine`)
+    Legal state-machine transitions only (start from idle, reset lands
+    in ``HALTED|IDLE`` with no reservation and the IRQ deasserted); on
+    completion the bytes pushed onto the stream equal the programmed
+    transfer length exactly.
+icap (:class:`~repro.icap.controller.IcapController`)
+    Words are only consumed while ``busy`` is high; ``busy`` and
+    ``done`` are never high simultaneously; no configuration words are
+    fed after an abort until the next ``begin_transfer`` re-arms.
+config memory
+    After a *successful* reconfiguration the region's frames are
+    bit-identical to the golden ASP encoding, and the firmware's timed
+    phase spans sum to ``latency_us`` within 1 µs.
+governor (:class:`~repro.resilience.FrequencyGovernor`)
+    ``authorise`` never grants more than requested (and never a
+    non-positive frequency); the per-(region, temperature-bucket)
+    quarantine floor is monotonically non-increasing — learning can
+    only tighten the clamp, never relax it.
+
+Violations raise :class:`InvariantViolation` by default; the fuzzer runs
+with ``raise_on_violation=False`` and collects them instead, so a broken
+scenario can still be shrunk to a minimal reproducer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["InvariantMonitor", "InvariantViolation"]
+
+
+class InvariantViolation(AssertionError):
+    """A runtime invariant of the simulated platform was violated."""
+
+
+class InvariantMonitor:
+    """Cheap always-on assertion probes over a running simulation.
+
+    One monitor instance watches one system (or one hand-assembled set
+    of components).  ``checks`` counts every probe evaluated;
+    ``violations`` keeps the human-readable record of each failure in
+    detection order.
+    """
+
+    def __init__(self, raise_on_violation: bool = True):
+        self.raise_on_violation = raise_on_violation
+        self.checks = 0
+        self.violations: List[str] = []
+        self.system = None
+        self._metrics_checks = None
+        self._metrics_violations = None
+        #: (region, temp_bucket) -> lowest quarantine floor ever seen.
+        self._clamp_floor: Dict[Tuple[str, int], float] = {}
+        self._attached: List[object] = []
+
+    # -- lifecycle ----------------------------------------------------------
+    def attach(self, system) -> "InvariantMonitor":
+        """Wire this monitor into every component of a ``PdrSystem``."""
+        self.system = system
+        metrics = system.metrics
+        self._metrics_checks = metrics.counter("verify.checks")
+        self._metrics_violations = metrics.counter("verify.violations")
+        for component in (system.sim, system.stream, system.dma, system.icap):
+            component.monitor = self
+            self._attached.append(component)
+        return self
+
+    def attach_governor(self, governor) -> "InvariantMonitor":
+        """Additionally watch a resilience frequency governor."""
+        governor.monitor = self
+        self._attached.append(governor)
+        return self
+
+    def detach(self) -> None:
+        for component in self._attached:
+            component.monitor = None
+        self._attached.clear()
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    # -- bookkeeping ---------------------------------------------------------
+    def _count(self, probes: int = 1) -> None:
+        self.checks += probes
+        if self._metrics_checks is not None:
+            self._metrics_checks.inc(probes)
+
+    def violate(self, invariant: str, message: str) -> None:
+        """Record (and by default raise) one invariant violation."""
+        record = f"{invariant}: {message}"
+        self.violations.append(record)
+        if self._metrics_violations is not None:
+            self._metrics_violations.inc()
+        if self.raise_on_violation:
+            raise InvariantViolation(record)
+
+    # -- kernel -----------------------------------------------------------------
+    def on_kernel_event(self, sim, when: float, event) -> None:
+        """Called by ``Simulator.step`` for every popped heap entry."""
+        self._count(2)
+        if when < sim.now:
+            self.violate(
+                "kernel.time_monotonic",
+                f"event scheduled at {when}ns fires at now={sim.now}ns",
+            )
+        if getattr(event, "_processed", False):
+            self.violate(
+                "kernel.single_fire",
+                f"already-processed event {event!r} fired again",
+            )
+
+    def check_kernel_quiescent(self, sim) -> None:
+        """No lost wakeups: an empty heap must mean no waiting processes."""
+        self._count()
+        if sim._live_processes > 0 and not sim._heap:
+            self.violate(
+                "kernel.no_lost_wakeups",
+                f"heap drained with {sim._live_processes} non-daemon "
+                f"process(es) still waiting",
+            )
+
+    # -- AXI stream ---------------------------------------------------------------
+    def on_stream_op(self, stream) -> None:
+        """Called by ``AxiStream`` after every accounting mutation."""
+        self._count(5)
+        occupancy = stream.fifo_words - stream.free_words
+        if not 0 <= occupancy <= stream.fifo_words:
+            self.violate(
+                "stream.occupancy_bounds",
+                f"{stream.name}: occupancy {occupancy} outside "
+                f"[0, {stream.fifo_words}]",
+            )
+        granted = stream.stat_granted_words
+        released = stream.stat_released_words
+        if granted - released != occupancy:
+            self.violate(
+                "stream.reservation_accounting",
+                f"{stream.name}: granted {granted} - released {released} "
+                f"!= occupancy {occupancy}",
+            )
+        if released > granted:
+            self.violate(
+                "stream.reservation_negative",
+                f"{stream.name}: released {released} words but only "
+                f"{granted} were ever granted",
+            )
+        if stream.total_words != stream.stat_consumed_words + stream.stat_queued_words:
+            self.violate(
+                "stream.word_conservation",
+                f"{stream.name}: produced {stream.total_words} != consumed "
+                f"{stream.stat_consumed_words} + queued "
+                f"{stream.stat_queued_words}",
+            )
+        channel = stream._bursts
+        if channel.total_put != channel.total_got + channel.level:
+            self.violate(
+                "stream.burst_conservation",
+                f"{stream.name}: bursts put {channel.total_put} != got "
+                f"{channel.total_got} + queued {channel.level}",
+            )
+
+    # -- DMA engine ----------------------------------------------------------------
+    def on_dma_start(self, engine) -> None:
+        self._count()
+        if engine.idle or engine._active is None:
+            self.violate(
+                "dma.start_transition",
+                f"{engine.name}: transfer started but engine reads idle",
+            )
+
+    def on_dma_complete(self, engine, length: int, pushed_bytes: int) -> None:
+        self._count(2)
+        if pushed_bytes != length:
+            self.violate(
+                "dma.descriptor_bytes",
+                f"{engine.name}: programmed {length} bytes but pushed "
+                f"{pushed_bytes} onto the stream",
+            )
+        if not engine.idle:
+            self.violate(
+                "dma.complete_transition",
+                f"{engine.name}: transfer completed but engine not idle",
+            )
+
+    def on_dma_reset(self, engine) -> None:
+        self._count()
+        if (
+            not engine.idle
+            or engine.running
+            or engine._reservation is not None
+            or engine.ioc_irq.asserted
+        ):
+            self.violate(
+                "dma.reset_transition",
+                f"{engine.name}: soft reset did not land in HALTED|IDLE "
+                f"with reservation and IRQ cleared",
+            )
+
+    # -- ICAP ----------------------------------------------------------------------
+    def on_icap_words(self, controller, words: int) -> None:
+        self._count(3)
+        if not controller.busy.value:
+            self.violate(
+                "icap.busy_protocol",
+                f"{controller.name}: consumed {words} words while not busy",
+            )
+        if controller.aborted:
+            self.violate(
+                "icap.no_write_while_aborted",
+                f"{controller.name}: {words} words fed after abort without "
+                f"begin_transfer re-arming",
+            )
+        if controller.busy.value and controller.done.value:
+            self.violate(
+                "icap.busy_done_exclusive",
+                f"{controller.name}: busy and done asserted simultaneously",
+            )
+
+    # -- system-level post-conditions ---------------------------------------------
+    def check_result(self, system, region: str, asp, result) -> None:
+        """Post-conditions of one completed reconfiguration attempt."""
+        self._count(2)
+        if result.succeeded:
+            from ..fabric import encode_asp_frames
+
+            golden = encode_asp_frames(
+                system.layout.region_frame_count(region), asp
+            )
+            if not system.memory.region_equals(region, golden):
+                self.violate(
+                    "memory.golden_frames",
+                    f"{region}: CRC read-back passed but frame contents "
+                    f"differ from the golden {asp.name} encoding",
+                )
+        if result.latency_us is not None:
+            timed = result.timed_phase_sum_us
+            if timed is None or abs(timed - result.latency_us) > 1.0:
+                self.violate(
+                    "fw.phase_sum",
+                    f"{region}: timed phases sum to {timed} µs but "
+                    f"latency_us is {result.latency_us} µs (tolerance 1 µs)",
+                )
+
+    def check_quiescent(self, system) -> None:
+        """Between transfers the engines must be verifiably idle."""
+        self._count(3)
+        if not system.dma.idle:
+            self.violate("dma.quiescent", "DMA engine busy between transfers")
+        if system.icap.busy.value:
+            self.violate("icap.quiescent", "ICAP busy between transfers")
+        stream = system.stream
+        if stream.queued_bursts or stream.free_words != stream.fifo_words:
+            self.violate(
+                "stream.quiescent",
+                f"{stream.name}: {stream.queued_bursts} burst(s) / "
+                f"{stream.fifo_words - stream.free_words} word(s) left "
+                f"in the FIFO between transfers",
+            )
+        self.check_kernel_quiescent(system.sim)
+
+    # -- resilience governor ---------------------------------------------------------
+    def on_governor_authorise(
+        self, governor, region: str, requested: float, temp_c: float, granted: float
+    ) -> None:
+        self._count(2)
+        if granted > requested:
+            self.violate(
+                "governor.authorise_clamp",
+                f"{region}: authorised {granted} MHz above the requested "
+                f"{requested} MHz",
+            )
+        if granted <= 0:
+            self.violate(
+                "governor.authorise_positive",
+                f"{region}: authorised non-positive frequency {granted} MHz",
+            )
+
+    def on_governor_quarantine(
+        self, governor, region: str, temp_bucket: int, floor_mhz: float
+    ) -> None:
+        self._count()
+        key = (region, temp_bucket)
+        previous = self._clamp_floor.get(key)
+        if previous is not None and floor_mhz > previous:
+            self.violate(
+                "governor.clamp_monotonic",
+                f"{region} tbucket {temp_bucket}: quarantine floor rose "
+                f"from {previous} to {floor_mhz} MHz",
+            )
+        if previous is None or floor_mhz < previous:
+            self._clamp_floor[key] = floor_mhz

@@ -1,0 +1,95 @@
+"""Differential oracle: determinism is a checkable property, not a hope.
+
+Two independent equivalences are asserted:
+
+* **Replay identity** — running the same scenario twice (fresh system
+  each time) must produce byte-identical result records.  The records
+  are compared through :func:`~repro.exec.canonical_json`, so any
+  nondeterminism in the simulation (wall-clock leakage, unordered dict
+  iteration, cross-run RNG state) shows up as a byte diff.
+* **Serial/parallel equivalence** — the same scenario batch executed by
+  a serial :class:`~repro.exec.SweepRunner` and by a ``--jobs N``
+  process-pool runner must merge to identical results, in identical
+  order.  This is the property every sweep experiment in this repo
+  relies on (reports are promised byte-identical regardless of N).
+
+Fingerprints are CRC-32C over the canonical JSON — small enough to log
+per scenario, strong enough to catch any drift.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from ..bitstream import crc32c_bytes
+from ..exec import SweepRunner, canonical_json
+
+from .fuzz import Scenario, run_scenario
+
+__all__ = [
+    "DifferentialMismatch",
+    "assert_parallel_matches_serial",
+    "assert_replay_identical",
+    "record_fingerprint",
+]
+
+
+class DifferentialMismatch(AssertionError):
+    """Two runs that must be byte-identical were not."""
+
+
+def record_fingerprint(record: Any) -> int:
+    """CRC-32C fingerprint of a result record's canonical JSON bytes."""
+    return crc32c_bytes(canonical_json(record).encode("ascii"))
+
+
+def assert_replay_identical(scenario: Scenario) -> int:
+    """Run ``scenario`` twice; raise unless the records are byte-identical.
+
+    Returns the common fingerprint on success.
+    """
+    first = canonical_json(run_scenario(scenario.to_mapping()))
+    second = canonical_json(run_scenario(scenario.to_mapping()))
+    if first != second:
+        raise DifferentialMismatch(
+            f"scenario {scenario.index} is nondeterministic: replay "
+            f"fingerprints {crc32c_bytes(first.encode('ascii')):#010x} != "
+            f"{crc32c_bytes(second.encode('ascii')):#010x}\n"
+            f"repro: {scenario.replay_command()}"
+        )
+    return crc32c_bytes(first.encode("ascii"))
+
+
+def assert_parallel_matches_serial(
+    scenarios: Sequence[Scenario], jobs: int = 2
+) -> int:
+    """Run a batch serially and under ``--jobs N``; results must match.
+
+    Uses the production :class:`~repro.exec.SweepRunner` (spec-order
+    merge), so this exercises exactly the code path the CLI's ``--jobs``
+    flag takes.  Returns the common batch fingerprint.
+    """
+    param_sets = [{"scenario": sc.to_mapping()} for sc in scenarios]
+    labels = [f"fuzz:{sc.index}" for sc in scenarios]
+    serial: List[Any] = SweepRunner(jobs=1).map(
+        "verify.oracle", run_scenario, param_sets, labels
+    )
+    parallel: List[Any] = SweepRunner(jobs=jobs).map(
+        "verify.oracle", run_scenario, param_sets, labels
+    )
+    serial_json = canonical_json(serial)
+    parallel_json = canonical_json(parallel)
+    if serial_json != parallel_json:
+        detail = ""
+        for index, (a, b) in enumerate(zip(serial, parallel)):
+            if canonical_json(a) != canonical_json(b):
+                detail = (
+                    f"; first divergence at scenario index "
+                    f"{scenarios[index].index}"
+                )
+                break
+        raise DifferentialMismatch(
+            f"serial and --jobs {jobs} runs of {len(scenarios)} scenario(s) "
+            f"merged differently{detail}"
+        )
+    return crc32c_bytes(serial_json.encode("ascii"))

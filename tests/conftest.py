@@ -1,0 +1,51 @@
+"""Shared fixtures for the whole test tree.
+
+Every suite that needs an assembled platform used to construct its own
+``PdrSystem()`` fixture; they are centralised here.
+
+* ``system`` — a fresh system per test (isolation; resilience/fault
+  suites mutate governor state and config memory).
+* ``shared_system`` — one system per test module (speed; transfers are
+  independent, as on the bench, so read-mostly suites share it).
+* ``make_system`` — factory for suites that need a custom
+  :class:`~repro.core.PdrSystemConfig`.
+* ``canned_bitstream`` — a prebuilt reference partial bitstream
+  (passthrough ASP on RP1, Table I padding), session-scoped and
+  read-only.
+"""
+
+import pytest
+
+from repro.core import PdrSystem, PdrSystemConfig
+
+
+@pytest.fixture()
+def make_system():
+    """Factory: ``make_system(**config_kwargs)`` -> fresh ``PdrSystem``."""
+
+    def factory(**config_kwargs):
+        config = PdrSystemConfig(**config_kwargs) if config_kwargs else None
+        return PdrSystem(config)
+
+    return factory
+
+
+@pytest.fixture()
+def system():
+    """A fresh system per test."""
+    return PdrSystem()
+
+
+@pytest.fixture(scope="module")
+def shared_system():
+    """One system per test module: transfers are independent, as on the
+    bench, so suites that only reconfigure/measure can share it."""
+    return PdrSystem()
+
+
+@pytest.fixture(scope="session")
+def canned_bitstream():
+    """A reference partial bitstream (passthrough on RP1), read-only."""
+    from repro.fabric import PassthroughAsp
+
+    return PdrSystem().make_bitstream("RP1", PassthroughAsp())

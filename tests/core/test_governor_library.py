@@ -2,13 +2,13 @@
 
 import pytest
 
-from repro.core import ActiveFeedbackGovernor, BitstreamLibrary, PdrSystem
+from repro.core import ActiveFeedbackGovernor, BitstreamLibrary
 from repro.fabric import Aes128Asp, FirFilterAsp
 
 
 @pytest.fixture(scope="module")
-def system():
-    return PdrSystem()
+def system(shared_system):
+    return shared_system
 
 
 # ----------------------------------------------------------------- governor --

@@ -8,9 +8,9 @@ from repro.timing import FailureMode
 
 
 @pytest.fixture(scope="module")
-def system():
+def system(shared_system):
     """One shared system: transfers are independent, as on the bench."""
-    return PdrSystem()
+    return shared_system
 
 
 def test_bitstream_padded_to_reference_size(system):

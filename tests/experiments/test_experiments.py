@@ -8,7 +8,6 @@ A shared PdrSystem keeps the suite fast; transfers are independent.
 
 import pytest
 
-from repro.core import PdrSystem
 from repro.experiments import fig5, fig6, proposed, table1, table2, table3, temp_stress
 from repro.experiments.calibration import (
     PAPER_SEC6_THEORETICAL_MB_S,
@@ -20,8 +19,8 @@ from repro.experiments.calibration import (
 
 
 @pytest.fixture(scope="module")
-def system():
-    return PdrSystem()
+def system(shared_system):
+    return shared_system
 
 
 # ------------------------------------------------------------------ Table I --

@@ -1,0 +1,113 @@
+"""Regression tests for FrequencyGovernor bucket edges.
+
+The governor buckets operating points at 5 MHz / 10 °C granularity with
+``int(x // bucket)``.  Points landing *exactly* on a boundary must fall
+deterministically into the upper bucket (floor division), and a
+quarantine established at a boundary must not leak into either
+neighbouring bucket along the frequency or temperature axis.
+"""
+
+import pytest
+
+from repro.resilience.governor import FrequencyGovernor
+
+
+def quarantine(gov, region, freq, temp):
+    for _ in range(gov.quarantine_after):
+        gov.record_failure(region, freq, temp, modes=["crc"])
+
+
+# ------------------------------------------------------------- bucketing --
+@pytest.mark.parametrize(
+    "freq,bucket",
+    [
+        (319.99, 63),
+        (320.0, 64),  # exactly on the 5 MHz edge: upper bucket
+        (320.01, 64),
+        (324.99, 64),
+        (325.0, 65),
+        (5.0, 1),
+        (4.99, 0),
+    ],
+)
+def test_frequency_boundary_lands_in_one_bucket(freq, bucket):
+    gov = FrequencyGovernor()
+    assert gov._key("RP1", freq, 40.0)[1] == bucket
+
+
+@pytest.mark.parametrize(
+    "temp,bucket",
+    [
+        (59.99, 5),
+        (60.0, 6),  # exactly on the 10 °C edge: upper bucket
+        (60.01, 6),
+        (69.99, 6),
+        (70.0, 7),
+        (0.0, 0),
+        (9.99, 0),
+    ],
+)
+def test_temperature_boundary_lands_in_one_bucket(temp, bucket):
+    gov = FrequencyGovernor()
+    assert gov._key("RP1", 100.0, temp)[2] == bucket
+
+
+def test_boundary_bucketing_is_deterministic_across_instances():
+    keys = {FrequencyGovernor()._key("RP2", 320.0, 60.0) for _ in range(50)}
+    assert keys == {("RP2", 64, 6)}
+
+
+# ------------------------------------------------- quarantine containment --
+def test_quarantine_at_frequency_boundary_does_not_leak():
+    gov = FrequencyGovernor(quarantine_after=2)
+    quarantine(gov, "RP1", 320.0, 60.0)
+
+    # The whole [320, 325) x [60, 70) bucket is quarantined...
+    assert gov.is_quarantined("RP1", 320.0, 60.0)
+    assert gov.is_quarantined("RP1", 324.99, 69.99)
+    # ...but neither frequency neighbour is.
+    assert not gov.is_quarantined("RP1", 319.99, 60.0)
+    assert not gov.is_quarantined("RP1", 325.0, 60.0)
+    # ...and neither temperature neighbour is.
+    assert not gov.is_quarantined("RP1", 320.0, 59.99)
+    assert not gov.is_quarantined("RP1", 320.0, 70.0)
+
+
+def test_failures_straddling_a_boundary_never_quarantine():
+    """Two failures 0.02 MHz apart but in different buckets must not
+    combine into a quarantine — each bucket keeps its own streak."""
+    gov = FrequencyGovernor(quarantine_after=2)
+    assert not gov.record_failure("RP1", 319.99, 40.0)
+    assert not gov.record_failure("RP1", 320.0, 40.0)
+    assert not gov.is_quarantined("RP1", 319.99, 40.0)
+    assert not gov.is_quarantined("RP1", 320.0, 40.0)
+
+
+def test_quarantine_containment_across_regions():
+    gov = FrequencyGovernor(quarantine_after=2)
+    quarantine(gov, "RP1", 320.0, 60.0)
+    assert not gov.is_quarantined("RP2", 320.0, 60.0)
+
+
+def test_authorise_clamp_applies_only_within_the_temp_bucket():
+    gov = FrequencyGovernor(quarantine_after=2, clamp_step_mhz=10.0)
+    quarantine(gov, "RP1", 320.0, 60.0)
+
+    # In the quarantined temperature bucket requests at/above the line clamp.
+    assert gov.authorise("RP1", 320.0, 60.0) == 310.0
+    assert gov.authorise("RP1", 400.0, 69.99) == 310.0
+    # Below the quarantine line: untouched, even in the same temp bucket.
+    assert gov.authorise("RP1", 319.99, 60.0) == 319.99
+    # Neighbouring temperature buckets: untouched.
+    assert gov.authorise("RP1", 320.0, 59.99) == 320.0
+    assert gov.authorise("RP1", 320.0, 70.0) == 320.0
+
+
+def test_success_on_boundary_clears_only_its_own_streak():
+    gov = FrequencyGovernor(quarantine_after=2)
+    assert not gov.record_failure("RP1", 320.0, 60.0)
+    # A success in the *lower* neighbouring bucket must not reset the
+    # streak accumulating at 320.0.
+    gov.record_success("RP1", 319.99, 60.0)
+    assert gov.record_failure("RP1", 320.0, 60.0), "second failure quarantines"
+    assert gov.is_quarantined("RP1", 320.0, 60.0)

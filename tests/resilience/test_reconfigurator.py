@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import PdrSystem
 from repro.fabric import FirFilterAsp
 from repro.resilience import (
     FrequencyGovernor,
@@ -13,11 +12,6 @@ from repro.resilience import (
 from repro.timing import FailureMode
 
 WORKLOAD = FirFilterAsp([3, 1, 4, 1, 5])
-
-
-@pytest.fixture()
-def system():
-    return PdrSystem()
 
 
 @pytest.fixture()

@@ -1,0 +1,66 @@
+"""Tests for the differential oracle."""
+
+import pytest
+
+import repro.verify.oracle as oracle_module
+from repro.verify import (
+    DifferentialMismatch,
+    Scenario,
+    assert_parallel_matches_serial,
+    assert_replay_identical,
+    record_fingerprint,
+)
+
+
+def test_record_fingerprint_is_stable_and_discriminating():
+    record = {"a": 1, "b": [1.5, None, "x"]}
+    assert record_fingerprint(record) == record_fingerprint(dict(record))
+    assert record_fingerprint(record) != record_fingerprint({"a": 2})
+    # Key order must not matter (canonical JSON sorts).
+    assert record_fingerprint({"b": [1.5, None, "x"], "a": 1}) == record_fingerprint(
+        record
+    )
+
+
+def test_replay_identity_on_real_scenario():
+    fingerprint = assert_replay_identical(Scenario(index=0))
+    assert isinstance(fingerprint, int)
+
+
+def test_replay_mismatch_is_reported(monkeypatch):
+    calls = {"n": 0}
+
+    def flaky_run(scenario):
+        calls["n"] += 1
+        return {"run": calls["n"]}  # different every time: nondeterministic
+
+    monkeypatch.setattr(oracle_module, "run_scenario", flaky_run)
+    with pytest.raises(DifferentialMismatch, match="nondeterministic"):
+        assert_replay_identical(Scenario(index=7))
+
+
+def test_parallel_mismatch_names_divergent_scenario(monkeypatch):
+    class FakeRunner:
+        instances = []
+
+        def __init__(self, jobs=1, cache=None):
+            self.jobs = jobs
+            FakeRunner.instances.append(self)
+
+        def map(self, name, fn, param_sets, labels):
+            if self.jobs == 1:
+                return [{"value": i} for i in range(len(param_sets))]
+            return [{"value": i + 100} for i in range(len(param_sets))]
+
+    monkeypatch.setattr(oracle_module, "SweepRunner", FakeRunner)
+    scenarios = [Scenario(index=0), Scenario(index=1)]
+    with pytest.raises(DifferentialMismatch, match="first divergence at scenario index 0"):
+        assert_parallel_matches_serial(scenarios, jobs=2)
+
+
+def test_serial_vs_parallel_on_real_scenarios():
+    """The production SweepRunner path: 2 workers must merge identically
+    to a serial run of the same scenario batch."""
+    scenarios = [Scenario(index=0), Scenario(index=1, region="RP2", freq_mhz=150.0)]
+    fingerprint = assert_parallel_matches_serial(scenarios, jobs=2)
+    assert isinstance(fingerprint, int)
