@@ -1,7 +1,7 @@
 """AMBA AXI bus models: stream links, Lite register files, the
 memory-mapped interconnect and the Zynq PS↔PL ports."""
 
-from .interconnect import AxiInterconnect
+from .interconnect import AxiInterconnect, AxiSlaveError
 from .lite import AxiLiteError, AxiLiteRegisterFile
 from .ports import AxiAcpPort, AxiHpPort
 from .stream import AxiStream, StreamBurst
@@ -12,6 +12,7 @@ __all__ = [
     "AxiInterconnect",
     "AxiLiteError",
     "AxiLiteRegisterFile",
+    "AxiSlaveError",
     "AxiStream",
     "StreamBurst",
 ]

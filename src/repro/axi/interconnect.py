@@ -10,15 +10,24 @@ first-come-starves-the-rest.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..dram import DramController
 from ..obs import MetricsRegistry
 from ..sim import Event, Simulator
 
-__all__ = ["AxiInterconnect"]
+__all__ = ["AxiInterconnect", "AxiSlaveError"]
 
 _DEFAULT_MASTER = "m0"
+
+
+class AxiSlaveError(RuntimeError):
+    """An AXI error response (SLVERR/DECERR) on the memory-mapped bus.
+
+    Raised *through the transaction's completion event* — the waiting
+    master receives it where it yielded, exactly like a real error
+    response lands on the issuing channel.
+    """
 
 
 class AxiInterconnect:
@@ -50,7 +59,18 @@ class AxiInterconnect:
         self._m_bytes = self.metrics.counter(f"{name}.bytes")
         self._m_outstanding = self.metrics.gauge(f"{name}.outstanding_requests")
         self._m_queue_wait_us = self.metrics.histogram(f"{name}.queue_wait_us")
+        self._m_error_responses = self.metrics.counter(f"{name}.error_responses")
         self._m_outstanding.set(0.0)
+        #: Optional fault hooks (installed by :mod:`repro.chaos`).
+        #: ``fault_stall_ns()`` adds forward-path latency to the next
+        #: transaction (arbitration/register-slice stall);
+        #: ``fault_error(kind, addr, size)`` may return an exception with
+        #: which the transaction completes instead of reaching the DDR
+        #: controller (an SLVERR response).
+        self.fault_stall_ns: Optional[Callable[[], float]] = None
+        self.fault_error: Optional[
+            Callable[[str, int, int], Optional[Exception]]
+        ] = None
         sim.process(self._arbiter(), name=f"{name}.arbiter", daemon=True)
 
     # -- master API ----------------------------------------------------------
@@ -102,7 +122,17 @@ class AxiInterconnect:
             self._m_bytes.inc(size)
             self._m_queue_wait_us.observe((self.sim.now - submitted_ns) / 1e3)
             # Forward path: address decode + arbitration + register slices.
-            yield self.sim.timeout(self.forward_latency_ns)
+            stall_ns = 0.0
+            if self.fault_stall_ns is not None:
+                stall_ns = max(0.0, self.fault_stall_ns())
+            yield self.sim.timeout(self.forward_latency_ns + stall_ns)
+            if self.fault_error is not None:
+                error = self.fault_error(kind, addr, size)
+                if error is not None:
+                    self._m_error_responses.inc()
+                    done.fail(error)
+                    self._m_outstanding.add(-1)
+                    continue
             if kind == "r":
                 payload = yield self.controller.read(addr, size)
                 done.succeed(payload)

@@ -57,7 +57,13 @@ class AxiHpPort:
         done = self.sim.event(name=f"{self.name}.read")
 
         def transaction():
-            data = yield self.interconnect.read(addr, size, master=self.name)
+            # An error response on the bus must land on the *issuing*
+            # master's completion event, not kill this port process.
+            try:
+                data = yield self.interconnect.read(addr, size, master=self.name)
+            except Exception as exc:
+                done.fail(exc)
+                return
             ddr_transfer = self.interconnect.controller.device.transfer_ns(size)
             extra = self.stream_ns(size) - ddr_transfer
             if extra > 0:
@@ -76,7 +82,11 @@ class AxiHpPort:
             extra = self.stream_ns(len(data)) - ddr_transfer
             if extra > 0:
                 yield self.sim.timeout(extra)
-            yield self.interconnect.write(addr, data, master=self.name)
+            try:
+                yield self.interconnect.write(addr, data, master=self.name)
+            except Exception as exc:
+                done.fail(exc)
+                return
             self.bytes_transferred += len(data)
             done.succeed(None)
 

@@ -1,0 +1,36 @@
+"""Chaos engineering layer: environmental fault injection + soak SLOs.
+
+``faults`` defines the typed taxonomy and seed-deterministic
+:class:`FaultPlan`; ``injector`` delivers a plan against a live
+:class:`~repro.core.PdrSystem` through the device models' fault hooks;
+``soak`` runs long-horizon campaigns on :class:`~repro.exec.SweepRunner`
+and grades availability / recovery-rate / MTTR against SLO floors.
+"""
+
+from .faults import ENVIRONMENT_KINDS, FAULT_KINDS, Fault, FaultPlan, build_fault_plan
+from .injector import ChaosInjector
+from .soak import (
+    SoakCase,
+    SoakCaseGenerator,
+    SoakReport,
+    SoakSlos,
+    format_report,
+    run_soak,
+    soak_case,
+)
+
+__all__ = [
+    "ENVIRONMENT_KINDS",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+    "ChaosInjector",
+    "SoakCase",
+    "SoakCaseGenerator",
+    "SoakReport",
+    "SoakSlos",
+    "build_fault_plan",
+    "format_report",
+    "run_soak",
+    "soak_case",
+]

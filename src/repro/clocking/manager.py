@@ -68,6 +68,15 @@ class ClockManager:
         self._check(clock_index)
         return self.wizards[clock_index].program(target_mhz)
 
+    def lose_lock(self, clock_index: int):
+        """Inject a spontaneous loss of lock on one output.
+
+        Returns the wizard's recovery event (or ``None`` if it was
+        already unlocked) — see :meth:`ClockWizard.lose_lock`.
+        """
+        self._check(clock_index)
+        return self.wizards[clock_index].lose_lock()
+
     def _check(self, clock_index: int) -> None:
         if not 0 <= clock_index < len(self.domains):
             raise IndexError(

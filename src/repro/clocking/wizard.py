@@ -75,6 +75,7 @@ class ClockWizard:
         self.locked = True
         self.current_setting: Optional[MmcmSetting] = None
         self.reprogram_count = 0
+        self.lock_losses = 0
 
     # -- synthesis ---------------------------------------------------------
     def best_setting(self, target_mhz: float) -> MmcmSetting:
@@ -135,4 +136,40 @@ class ClockWizard:
             done.succeed(setting.f_out_mhz)
 
         self.sim.process(relock(), name=f"{self.name}.relock")
+        return done
+
+    def lose_lock(self) -> Optional[Event]:
+        """Spontaneous loss of lock (input glitch / voltage droop).
+
+        The MMCM drops lock and the output falls back to the input
+        reference until it re-locks on its own after the lock time; the
+        previously programmed setting is then restored.  If a
+        :meth:`program` call supersedes the recovery (a newer
+        reprogramming is itself waiting out the lock time), the stale
+        recovery abandons — the reprogram's own relock wins.
+
+        Returns the re-lock event, or ``None`` if the wizard was already
+        unlocked (the in-flight relock subsumes the glitch).
+        """
+        if not self.locked:
+            return None
+        self.locked = False
+        self.lock_losses += 1
+        generation = self.reprogram_count
+        setting = self.current_setting
+        fallback_mhz = setting.f_out_mhz if setting is not None else None
+        self.domain.set_frequency(self.f_in_mhz)
+        done = self.sim.event(name=f"{self.name}.relock_after_loss")
+
+        def recover():
+            yield self.sim.timeout(self.constraints.lock_time_us * 1e3)
+            if self.reprogram_count != generation:
+                done.succeed(None)
+                return
+            if fallback_mhz is not None:
+                self.domain.set_frequency(fallback_mhz)
+            self.locked = True
+            done.succeed(fallback_mhz)
+
+        self.sim.process(recover(), name=f"{self.name}.loss_recovery")
         return done

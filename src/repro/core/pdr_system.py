@@ -42,7 +42,7 @@ from ..dram import DramController, DramDevice
 from ..fabric import Asp, ConfigMemory, RpRegion, encode_asp_frames
 from ..icap import IcapController
 from ..obs import TELEMETRY_BOOK, MetricsRegistry, SpanRecorder
-from ..power import CurrentSense, PowerModel, PowerModelParams
+from ..power import CurrentSense, PowerModel, PowerModelParams, PowerSupply
 from ..ps import GlobalTimer, InterruptController, Pcap
 from ..sim import ClockDomain, Simulator, Tracer
 from ..thermal import HeatGun, TemperatureSensor, ThermalModel
@@ -184,6 +184,8 @@ class PdrSystem:
             freq_source=lambda: self.overclock.freq_mhz,
             temp_source=lambda: self.thermal.temperature_c,
         )
+        #: Board supply state: brownouts clamp the usable over-clock.
+        self.supply = PowerSupply(now_fn=lambda: sim.now)
         self.thermal.pin_temperature(self.config.die_temp_c)
 
         # ---- board I/O -------------------------------------------------------
@@ -201,6 +203,12 @@ class PdrSystem:
         self._bitstream_cache: Dict[tuple, Bitstream] = {}
         self._staged_addrs: Dict[int, int] = {}
         self.results: List[ReconfigResult] = []
+        #: Number of firmware reconfiguration sequences currently in
+        #: flight (clock program → transfer → post-transfer scrub).  The
+        #: chaos layer gates SEU delivery on this being zero: an upset
+        #: during an active sequence is indistinguishable from transfer
+        #: corruption and belongs to the retry ladder, not the scrubber.
+        self.firmware_active = 0
 
         # ---- telemetry: probes, bench series, firmware counters -------------
         metrics = self.metrics
@@ -214,6 +222,7 @@ class PdrSystem:
         self._m_reconfigures = metrics.counter("fw.reconfigures")
         self._m_irq_timeouts = metrics.counter("fw.irq_timeouts")
         self._m_latency_us = metrics.histogram("fw.latency_us")
+        self._m_brownout_clamps = metrics.counter("power.brownout_clamps")
         TELEMETRY_BOOK.register(metrics, "pdr_system")
         TELEMETRY_BOOK.register_tracer(self.trace, "pdr_system")
 
@@ -395,6 +404,14 @@ class PdrSystem:
         engine = SgDmaEngine(self.dma, name="sg")
 
         def sequence():
+            self.firmware_active += 1
+            try:
+                result = yield from batch_body()
+            finally:
+                self.firmware_active -= 1
+            return result
+
+        def batch_body():
             achieved = yield self.clock_wizard.program(freq_mhz)
             temp_c = self.thermal.temperature_c
             control_ok = self.timing.ok(PDR_CONTROL_PATH, achieved, temp_c)
@@ -449,11 +466,34 @@ class PdrSystem:
             metrics_prefix="fw.phase.",
         )
         self._m_reconfigures.inc()
+        self.firmware_active += 1
+        try:
+            result = yield from self._firmware_sequence_body(
+                region, bitstream, addr, freq_mhz, attempt, spans
+            )
+        finally:
+            self.firmware_active -= 1
+        return result
 
+    def _firmware_sequence_body(
+        self, region, bitstream, addr, freq_mhz, attempt, spans
+    ):
+        config = self.config
         with spans.span("reconfigure", region=region, freq_mhz=freq_mhz):
-            # 1. Program the Clock Wizard and wait for MMCM lock.
+            # 1. Program the Clock Wizard and wait for MMCM lock.  A
+            #    browned-out rail cannot hold timing at the full
+            #    over-clock, so firmware gates the request first.
+            gated_mhz = self.supply.gate_mhz(freq_mhz)
+            if gated_mhz < freq_mhz:
+                self._m_brownout_clamps.inc()
+                self.trace.emit(
+                    self.sim.now,
+                    "fw",
+                    f"brownout: {freq_mhz:g} MHz request clamped to "
+                    f"{gated_mhz:g} MHz for {region}",
+                )
             with spans.span("clock_lock"):
-                achieved = yield self.clock_wizard.program(freq_mhz)
+                achieved = yield self.clock_wizard.program(gated_mhz)
             self.trace.emit(
                 self.sim.now, "fw", f"clock locked at {achieved:g} MHz for {region}"
             )

@@ -25,12 +25,13 @@ from typing import Optional
 from ..axi.ports import AxiHpPort
 from ..axi.stream import AxiStream, StreamBurst
 from ..obs import MetricsRegistry
-from ..sim import ClockDomain, InterruptLine, Simulator
+from ..sim import ClockDomain, Interrupt, InterruptLine, Simulator
 
 from .registers import (
     DMACR_IOC_IRQ_EN,
     DMACR_RESET,
     DMACR_RS,
+    DMASR_DMA_INT_ERR,
     DMASR_HALTED,
     DMASR_IDLE,
     DMASR_IOC_IRQ,
@@ -92,7 +93,9 @@ class AxiDmaEngine:
         self.bytes_moved = 0
         self.transfers_completed = 0
         self.resets_issued = 0
+        self.axi_errors = 0
         self._m_resets = self.metrics.counter(f"{name}.resets")
+        self._m_axi_errors = self.metrics.counter(f"{name}.axi_errors")
         self._active: Optional[object] = None
         #: Outstanding stream-space reservation of the in-flight transfer
         #: (event, words), handed back on reset so an aborted producer
@@ -197,7 +200,27 @@ class AxiDmaEngine:
             # faster clock, smaller gap — until the memory path dominates.
             yield self.clock.wait_cycles(self.cmd_overhead_cycles)
             self._m_cmd_cycles.inc(self.cmd_overhead_cycles)
-            data = yield self.port.read(cursor, burst_bytes)
+            try:
+                data = yield self.port.read(cursor, burst_bytes)
+            except Interrupt:
+                # A DMACR soft reset interrupted the burst; ``_reset``
+                # owns the cleanup (it already cancelled the reservation).
+                raise
+            except Exception:
+                # AXI error response mid-transfer: the datamover latches
+                # DMAIntErr and halts.  No completion interrupt will ever
+                # arrive — the firmware's IRQ-timeout recovery path takes
+                # it from here (DMA soft reset + ICAP abort).  Hand back
+                # the outstanding FIFO reservation so the accounting
+                # stays exact for the abort drain.
+                if self._reservation is not None:
+                    self._reservation = None
+                    self.stream.cancel_reserve(reserve, burst_words)
+                self._status |= DMASR_HALTED | DMASR_DMA_INT_ERR
+                self._active = None
+                self.axi_errors += 1
+                self._m_axi_errors.inc()
+                return
             words = list(struct.unpack(f">{len(data) // 4}I", data))
             is_last = remaining == burst_bytes
             self.stream.push(StreamBurst(words=words, last=is_last))

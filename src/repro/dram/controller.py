@@ -9,7 +9,7 @@ them, which is one ingredient of the paper's memory-path bottleneck.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from ..obs import MetricsRegistry
 from ..sim import Channel, Event, Simulator
@@ -61,6 +61,16 @@ class DramController:
         self._m_queue_wait_us = self.metrics.histogram(f"{name}.queue_wait_us")
         self._m_service_us = self.metrics.histogram(f"{name}.service_us")
         self._m_queue_depth.set(0.0)
+        #: Optional fault hooks (installed by :mod:`repro.chaos`).
+        #: ``fault_latency_ns(request)`` adds service latency to one
+        #: request (a latency spike); ``fault_read_tamper(request, data)``
+        #: may return altered read data (an in-flight bit flip).  Both are
+        #: consulted on the server path only — the backing store itself is
+        #: never modified, matching transient DRAM/link faults.
+        self.fault_latency_ns: Optional[Callable[[MemoryRequest], float]] = None
+        self.fault_read_tamper: Optional[
+            Callable[[MemoryRequest, bytes], bytes]
+        ] = None
         sim.process(self._serve(), name=f"{name}.server", daemon=True)
 
     # -- master-facing API ----------------------------------------------------
@@ -110,7 +120,10 @@ class DramController:
                 refresh_debt = timing.refresh_stall_ns
             access = self.device.access_latency_ns(request.addr, request.size)
             transfer = self.device.transfer_ns(request.size)
-            yield self.sim.timeout(refresh_debt + access + transfer)
+            fault_ns = 0.0
+            if self.fault_latency_ns is not None:
+                fault_ns = max(0.0, self.fault_latency_ns(request))
+            yield self.sim.timeout(refresh_debt + access + transfer + fault_ns)
 
             if request.is_write:
                 assert request.data is not None
@@ -119,6 +132,10 @@ class DramController:
                 self._m_bytes_written.inc(request.size)
             else:
                 request.read_data = self.device.load(request.addr, request.size)
+                if self.fault_read_tamper is not None:
+                    request.read_data = self.fault_read_tamper(
+                        request, request.read_data
+                    )
                 self.bytes_read += request.size
                 self._m_bytes_read.inc(request.size)
             self.requests_served += 1

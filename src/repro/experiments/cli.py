@@ -109,11 +109,25 @@ EXPERIMENTS: Dict[str, Callable[[SweepRunner], str]] = {
 }
 
 
+def _report_unhandled(prefix: str, unhandled) -> None:
+    """Surface processes that died with unhandled exceptions."""
+    print(
+        f"[{prefix}] {len(unhandled)} simulation process(es) died with "
+        f"unhandled exceptions:",
+        file=sys.stderr,
+    )
+    for index, name in unhandled:
+        print(f"[{prefix}]   case {index}: {name}", file=sys.stderr)
+
+
 def _run_fuzz_command(args) -> int:
     """``repro-pdr fuzz``: scenario fuzzing under the invariant monitor.
 
     Exit status 1 when any invariant violation (or oracle mismatch)
-    survives — CI treats a finding as a failure.
+    survives — CI treats a finding as a failure.  With
+    ``--fail-on-unhandled`` (the default) a simulation process that died
+    with an unhandled exception also fails the run, even when no
+    invariant tripped.
     """
     import json
 
@@ -125,6 +139,10 @@ def _run_fuzz_command(args) -> int:
             record = run_scenario(scenario.to_mapping())
             print(json.dumps(record, indent=2, sort_keys=True))
             violations = record["violations"]
+            unhandled = [
+                (scenario.index, name)
+                for name in record["unhandled_failures"]
+            ]
         else:
             report = run_fuzz(
                 seed=args.seed,
@@ -135,6 +153,7 @@ def _run_fuzz_command(args) -> int:
             )
             print(format_report(report))
             violations = report.findings
+            unhandled = report.unhandled_failures
     if args.trace_dump is not None:
         for line in book.tail_traces(args.trace_dump):
             print(line)
@@ -144,7 +163,70 @@ def _run_fuzz_command(args) -> int:
             f"wrote metrics for {len(book.registries)} system(s) "
             f"to {args.metrics_out}"
         )
-    return 1 if violations else 0
+    if violations:
+        return 1
+    if unhandled and args.fail_on_unhandled:
+        _report_unhandled("fuzz", unhandled)
+        return 1
+    return 0
+
+
+def _run_chaos_command(args) -> int:
+    """``repro-pdr chaos``: seeded soak campaign graded against SLOs.
+
+    Exit status 1 on any SLO breach, invariant violation or (by default)
+    unhandled process failure.  ``--replay`` re-runs exactly one episode
+    from its JSON case mapping and prints the full plain-data record —
+    byte-identical on every invocation of the same mapping.
+    """
+    import json
+
+    from ..chaos import SoakCase, SoakSlos, format_report, run_soak, soak_case
+
+    with TELEMETRY_BOOK.capture() as book:
+        if args.replay is not None:
+            case = SoakCase.from_mapping(json.loads(args.replay))
+            record = soak_case(**case.to_mapping())
+            print(json.dumps(record, indent=2, sort_keys=True))
+            failed = bool(record["violations"])
+            unhandled = [
+                (case.index, name) for name in record["unhandled_failures"]
+            ]
+        else:
+            slos = SoakSlos(
+                min_availability=args.min_availability,
+                min_recovery_rate=args.min_recovery,
+                max_mttr_p99_us=args.max_mttr_p99_us,
+            )
+            report = run_soak(
+                seed=args.seed, cases=args.cases, jobs=args.jobs, slos=slos
+            )
+            print(format_report(report))
+            unhandled = report.unhandled
+            unhandled_reasons = {
+                f"unhandled failure in process {name!r}"
+                for _, name in unhandled
+            }
+            failed = bool(report.breaches) or any(
+                reason not in unhandled_reasons
+                for finding in report.findings
+                for reason in finding["reasons"]
+            )
+    if args.trace_dump is not None:
+        for line in book.tail_traces(args.trace_dump):
+            print(line)
+    if args.metrics_out:
+        book.dump_json(args.metrics_out, experiments=["chaos"])
+        print(
+            f"wrote metrics for {len(book.registries)} system(s) "
+            f"to {args.metrics_out}"
+        )
+    if failed:
+        return 1
+    if unhandled and args.fail_on_unhandled:
+        _report_unhandled("chaos", unhandled)
+        return 1
+    return 0
 
 
 def main(argv=None) -> int:
@@ -160,24 +242,32 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        choices=sorted(EXPERIMENTS) + ["all", "fuzz"],
+        choices=sorted(EXPERIMENTS) + ["all", "fuzz", "chaos"],
         help=(
             "which paper artifacts to regenerate; 'fuzz' instead runs the "
-            "deterministic scenario fuzzer under the invariant monitor"
+            "deterministic scenario fuzzer under the invariant monitor; "
+            "'chaos' runs a seeded fault-injection soak campaign graded "
+            "against availability SLOs"
         ),
     )
     parser.add_argument(
         "--seed",
         type=int,
         default=1,
-        help="fuzz: base RNG seed (same seed => byte-identical campaign)",
+        help=(
+            "fuzz/chaos: base RNG seed (same seed => byte-identical "
+            "campaign)"
+        ),
     )
     parser.add_argument(
         "--cases",
         type=int,
-        default=50,
+        default=None,
         metavar="N",
-        help="fuzz: number of generated scenarios (default 50)",
+        help=(
+            "fuzz/chaos: number of generated cases "
+            "(default 50 for fuzz, 10 for chaos)"
+        ),
     )
     parser.add_argument(
         "--no-shrink",
@@ -199,9 +289,43 @@ def main(argv=None) -> int:
         metavar="JSON",
         default=None,
         help=(
-            "fuzz: run exactly one scenario from its JSON mapping (the "
-            "format printed by a shrunk minimal reproducer)"
+            "fuzz/chaos: run exactly one case from its JSON mapping (the "
+            "format printed by a minimal reproducer / soak finding)"
         ),
+    )
+    parser.add_argument(
+        "--fail-on-unhandled",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "fuzz/chaos: exit 1 (naming the dead processes) when any "
+            "simulation process died with an unhandled exception "
+            "(default: on)"
+        ),
+    )
+    parser.add_argument(
+        "--min-availability",
+        type=float,
+        default=0.70,
+        metavar="FRAC",
+        help="chaos: SLO floor on campaign-mean availability (default 0.70)",
+    )
+    parser.add_argument(
+        "--min-recovery",
+        type=float,
+        default=0.95,
+        metavar="FRAC",
+        help=(
+            "chaos: SLO floor on the fraction of injected faults fully "
+            "recovered (default 0.95)"
+        ),
+    )
+    parser.add_argument(
+        "--max-mttr-p99-us",
+        type=float,
+        default=60_000.0,
+        metavar="US",
+        help="chaos: SLO ceiling on p99 repair latency (default 60000 us)",
     )
     parser.add_argument(
         "--jobs",
@@ -243,13 +367,22 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 0:
         parser.error("--jobs must be >= 0 (0 = one worker per CPU)")
-    if args.cases < 1:
+    if args.cases is not None and args.cases < 1:
         parser.error("--cases must be >= 1")
 
     if "fuzz" in args.experiments:
         if len(args.experiments) != 1:
             parser.error("'fuzz' cannot be combined with other experiments")
+        if args.cases is None:
+            args.cases = 50
         return _run_fuzz_command(args)
+
+    if "chaos" in args.experiments:
+        if len(args.experiments) != 1:
+            parser.error("'chaos' cannot be combined with other experiments")
+        if args.cases is None:
+            args.cases = 10
+        return _run_chaos_command(args)
 
     cache = None
     if args.cache is not None:

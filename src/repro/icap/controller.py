@@ -49,6 +49,7 @@ class IcapController:
         self._m_corrupted = self.metrics.counter(f"{name}.corrupted_words")
         self._m_transfers = self.metrics.counter(f"{name}.transfers")
         self._m_aborts = self.metrics.counter(f"{name}.aborts")
+        self._m_lockup_cycles = self.metrics.counter(f"{name}.lockup_cycles")
         #: High while a configuration stream is being consumed.
         self.busy = Signal(sim, initial=False, name=f"{name}.busy")
         #: Rises when the stream desyncs (configuration done).
@@ -58,6 +59,12 @@ class IcapController:
         #: Optional fault injector: words -> words (set by the PDR system
         #: when the timing model says the data path is past its fmax).
         self.word_corruptor: Optional[Callable[[List[int]], List[int]]] = None
+        #: Optional fault hook (installed by :mod:`repro.chaos`):
+        #: extra cycles the ICAPE2 holds busy before accepting the next
+        #: burst (a transient busy lock-up).  Backpressure propagates to
+        #: the DMA through the stream FIFO, so the transfer stretches but
+        #: no words are lost.
+        self.fault_lockup_cycles: Optional[Callable[[], int]] = None
         self.words_consumed = 0
         self.aborted_transfers = 0
         #: Latched at the *end* of :meth:`abort` (stale in-flight words are
@@ -122,6 +129,11 @@ class IcapController:
                     self.clock.ns_to_cycles(self.sim.now - wait_started_ns)
                 )
             self.busy.set(True)
+            if self.fault_lockup_cycles is not None:
+                lockup = max(0, int(self.fault_lockup_cycles()))
+                if lockup:
+                    self._m_lockup_cycles.inc(lockup)
+                    yield self.clock.wait_cycles(lockup)
             words = burst.words
             # One word per clock cycle through the ICAP.
             yield self.clock.wait_cycles(len(words))

@@ -1,6 +1,6 @@
 """Power model and board current-sense measurement."""
 
-from .model import PowerModel, PowerModelParams
+from .model import PowerModel, PowerModelParams, PowerSupply
 from .sense import CurrentSense
 
-__all__ = ["CurrentSense", "PowerModel", "PowerModelParams"]
+__all__ = ["CurrentSense", "PowerModel", "PowerModelParams", "PowerSupply"]

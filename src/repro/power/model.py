@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Callable, List, Tuple
 
-__all__ = ["PowerModelParams", "PowerModel"]
+__all__ = ["PowerModelParams", "PowerModel", "PowerSupply"]
 
 
 @dataclass(frozen=True)
@@ -80,3 +81,46 @@ class PowerModel:
         if throughput_mb_s < 0:
             raise ValueError("throughput cannot be negative")
         return throughput_mb_s / self.pdr_power_w(freq_mhz, temp_c)
+
+
+class PowerSupply:
+    """Board supply state: brownouts clamp the usable over-clock.
+
+    A voltage droop does not stop the design, but the timing margin at a
+    reduced rail no longer supports the full over-clock — firmware must
+    gate any requested ICAP frequency to the brownout ceiling while the
+    droop lasts.  Time comes from an injected ``now_fn`` (the simulator
+    clock) so the supply stays a plain-data model.
+    """
+
+    def __init__(self, now_fn: Callable[[], float]):
+        self._now_fn = now_fn
+        #: (ceiling_mhz, expires_ns) windows, most recent last.
+        self._windows: List[Tuple[float, float]] = []
+        self.brownouts = 0
+
+    def brownout(self, ceiling_mhz: float, duration_ns: float) -> None:
+        """Start a droop limiting the over-clock to ``ceiling_mhz``."""
+        if ceiling_mhz <= 0:
+            raise ValueError("brownout ceiling must be positive")
+        if duration_ns <= 0:
+            raise ValueError("brownout duration must be positive")
+        self._windows.append((ceiling_mhz, self._now_fn() + duration_ns))
+        self.brownouts += 1
+
+    @property
+    def browned_out(self) -> bool:
+        now = self._now_fn()
+        return any(expires > now for _, expires in self._windows)
+
+    def ceiling_mhz(self) -> float:
+        """The tightest active ceiling, or +inf when the rail is healthy."""
+        now = self._now_fn()
+        self._windows = [w for w in self._windows if w[1] > now]
+        if not self._windows:
+            return math.inf
+        return min(ceiling for ceiling, _ in self._windows)
+
+    def gate_mhz(self, requested_mhz: float) -> float:
+        """Clamp a requested frequency to the active brownout ceiling."""
+        return min(requested_mhz, self.ceiling_mhz())

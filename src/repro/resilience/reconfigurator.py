@@ -27,7 +27,7 @@ system trace) so time-to-repair shows up next to the firmware phases.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from ..core import PdrSystem, ReconfigResult
 from ..fabric import Asp
@@ -139,6 +139,15 @@ class ResilientReconfigurator:
         self._m_giveups = metrics.counter("resilience.giveups")
         self._m_repairs = metrics.counter("resilience.scrub_repairs")
         self._m_repair_us = metrics.histogram("resilience.time_to_repair_us")
+        #: Completed (re-verified) SEU repair cycles — the chaos layer's
+        #: headline repair counter; ``scrub_repairs`` above counts repair
+        #: *starts* and predates it.
+        self._m_seu_repairs = metrics.counter("resilience.repairs")
+        self._m_seu_detected = metrics.counter("resilience.seu_detected")
+        self._m_verify_failures = metrics.counter(
+            "resilience.repair_verify_failures"
+        )
+        self._m_mttr_us = metrics.histogram("resilience.mttr_us")
         self._spans = SpanRecorder(
             now_fn=lambda: system.sim.now,
             tracer=system.trace,
@@ -151,6 +160,16 @@ class ResilientReconfigurator:
         self._golden: Dict[str, Asp] = {}
         #: Regions the background scrubber flagged as corrupted.
         self.pending_repairs: List[str] = []
+        #: First-detection sim time of each pending region (for MTTR).
+        self._detected_ns: Dict[str, float] = {}
+        #: Regions taken out of service by an in-progress repair cycle.
+        self.isolated_regions: Set[str] = set()
+        #: Completed repair cycles, oldest first (plain-data records).
+        self.repair_log: List[dict] = []
+        #: Region currently being reconfigured by :meth:`reconfigure` —
+        #: its own post-transfer scrub failures belong to the retry loop,
+        #: not the background-repair queue.
+        self._active_region: Optional[str] = None
 
     # -- main entry ----------------------------------------------------------
     def reconfigure(self, region: str, asp: Asp, freq_mhz: float) -> RecoveryOutcome:
@@ -167,6 +186,21 @@ class ResilientReconfigurator:
         )
         freq = authorised
         first_failure_ns: Optional[float] = None
+        previous_active = self._active_region
+        self._active_region = region
+        try:
+            return self._reconfigure_attempts(
+                region, asp, freq, outcome, first_failure_ns
+            )
+        finally:
+            self._active_region = previous_active
+
+    def _reconfigure_attempts(
+        self, region, asp, freq, outcome, first_failure_ns
+    ) -> RecoveryOutcome:
+        system = self.system
+        policy = self.policy
+        freq_mhz = outcome.requested_freq_mhz
         with self._spans.span("recover", region=region, freq_mhz=freq_mhz):
             for attempt in range(policy.max_attempts):
                 self._m_attempts.inc()
@@ -231,26 +265,87 @@ class ResilientReconfigurator:
         self.system.scrubber.on_mismatch = self._on_scrub_mismatch
 
     def _on_scrub_mismatch(self, scrub) -> None:
+        if scrub.region == self._active_region:
+            # The firmware's own post-transfer scrub of the region being
+            # reconfigured right now: the retry loop already owns that
+            # failure — queueing a background repair would double-treat.
+            return
         if scrub.region not in self.pending_repairs:
             self.pending_repairs.append(scrub.region)
+            self._detected_ns.setdefault(scrub.region, scrub.at_ns)
+            self._m_seu_detected.inc()
 
     def repair_pending(self) -> List[RecoveryOutcome]:
-        """Re-write the golden bitstream of every scrub-flagged region.
+        """Run the full SEU repair cycle for every scrub-flagged region.
 
-        Repairs run at the region's learned safe frequency (falling back
-        to the policy floor when nothing is known yet) so the repair
-        itself cannot re-trigger the failure that corrupted the region.
+        For each region: **isolate** it (out of service for the duration),
+        **re-write** the golden bitstream, then **re-verify** with an
+        explicit scrub pass before returning it to service.  Repairs run
+        at the region's learned safe frequency (falling back to the
+        policy floor when nothing is known yet) so the repair itself
+        cannot re-trigger the failure that corrupted the region.  Each
+        completed cycle appends a plain-data record (with MTTR measured
+        from first detection) to :attr:`repair_log`; a failed re-verify
+        leaves the region queued for the next call.
         """
+        system = self.system
+        queue, self.pending_repairs = self.pending_repairs, []
         outcomes = []
-        while self.pending_repairs:
-            region = self.pending_repairs.pop(0)
+        for region in queue:
             asp = self._golden.get(region)
             if asp is None:
                 raise KeyError(
                     f"scrubber flagged {region!r} but no golden content "
                     f"was ever loaded through this reconfigurator"
                 )
+            detected_ns = self._detected_ns.get(region, system.sim.now)
             freq = self.governor.safe_fmax_mhz(region) or self.policy.freq_floor_mhz
             self._m_repairs.inc()
-            outcomes.append(self.reconfigure(region, asp, freq))
+            with self._spans.span("seu_repair", region=region):
+                self.isolated_regions.add(region)
+                try:
+                    outcome = self.reconfigure(region, asp, freq)
+                    verified = False
+                    if outcome.recovered:
+                        scrub = system.sim.run_until(
+                            system.sim.process(
+                                system.scrubber.scrub_region_once(region),
+                                name=f"resilience.verify:{region}",
+                            )
+                        )
+                        verified = scrub.ok
+                finally:
+                    self.isolated_regions.discard(region)
+            repaired_ns = system.sim.now
+            mttr_us = (repaired_ns - detected_ns) / 1e3
+            self.repair_log.append(
+                {
+                    "region": region,
+                    "detected_ns": detected_ns,
+                    "repaired_ns": repaired_ns,
+                    "mttr_us": mttr_us,
+                    "verified": verified,
+                    "attempts": outcome.attempts_used,
+                }
+            )
+            if verified:
+                self._detected_ns.pop(region, None)
+                self._m_seu_repairs.inc()
+                self._m_mttr_us.observe(mttr_us)
+                system.trace.emit(
+                    repaired_ns,
+                    "resilience",
+                    f"SEU repair of {region} verified clean "
+                    f"(MTTR {mttr_us:.1f} us)",
+                )
+            else:
+                self._m_verify_failures.inc()
+                if region not in self.pending_repairs:
+                    self.pending_repairs.append(region)
+                system.trace.emit(
+                    repaired_ns,
+                    "resilience",
+                    f"SEU repair of {region} FAILED re-verify; re-queued",
+                )
+            outcomes.append(outcome)
         return outcomes

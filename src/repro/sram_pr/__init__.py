@@ -3,7 +3,7 @@
 from .decompressor import BitstreamDecompressor
 from .memctrl import SramMemoryController, SramSlot
 from .pr_controller import ActivationResult, PrController
-from .scheduler import PendingBitstream, PsScheduler
+from .scheduler import PendingBitstream, PreloadError, PsScheduler
 from .sram import QdrSram
 from .system import THEORETICAL_THROUGHPUT_MB_S, SramPrResult, SramPrSystem
 
@@ -12,6 +12,7 @@ __all__ = [
     "BitstreamDecompressor",
     "PendingBitstream",
     "PrController",
+    "PreloadError",
     "PsScheduler",
     "QdrSram",
     "SramMemoryController",

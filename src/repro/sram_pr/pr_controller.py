@@ -17,9 +17,9 @@ clock becomes the wall.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
-from ..bitstream.compress import MAGIC
+from ..bitstream.compress import MAGIC, CompressedFormatError
 from ..fabric.config_memory import ConfigMemory
 from ..icap.primitive import ConfigPort
 from ..sim import ClockDomain, InterruptLine, Simulator
@@ -79,6 +79,12 @@ class PrController:
         self.done_irq = InterruptLine(sim, name=f"{name}.done")
         self.error_irq = InterruptLine(sim, name=f"{name}.err")
         self.activations = 0
+        self.read_errors = 0
+        self.decomp_stalls = 0
+        #: Optional fault hook: extra decompressor pipeline stall (ns)
+        #: charged once per compressed activation — the decoder wedges,
+        #: then resumes; throughput drops but the stream stays intact.
+        self.fault_decomp_stall_ns: Optional[Callable[[], float]] = None
 
     def activate(self):
         """Reconfigure from the staged slot (process generator).
@@ -99,11 +105,32 @@ class PrController:
 
         # Drain the SRAM burst by burst (timed by the SRAM model) while
         # accounting the ICAP consumption as a pipelined second stage.
-        raw = yield self.sim.process(
-            self.memctrl.read_slot(burst_words=_DRAIN_BURST_WORDS),
-            name=f"{self.name}.drain",
-        )
+        try:
+            raw = yield self.sim.process(
+                self.memctrl.read_slot(burst_words=_DRAIN_BURST_WORDS),
+                name=f"{self.name}.drain",
+            )
+        except Exception:
+            # Read-port fault mid-drain: the partial stream never reached
+            # a sync word, so the fabric is untouched — report the failed
+            # activation instead of dying as an unhandled process.
+            self.read_errors += 1
+            self.error_irq.assert_()
+            self.memctrl.invalidate()
+            return ActivationResult(
+                region=slot.region,
+                latency_us=(self.sim.now - started) / 1e3,
+                bitstream_words=0,
+                sram_words=sram_words,
+                compressed=slot.compressed,
+                config_ok=False,
+            )
         if slot.compressed:
+            if self.fault_decomp_stall_ns is not None:
+                stall_ns = max(0.0, self.fault_decomp_stall_ns())
+                if stall_ns > 0:
+                    self.decomp_stalls += 1
+                    yield self.sim.timeout(stall_ns)
             if not raw or raw[0] != MAGIC:
                 self.error_irq.assert_()
                 return ActivationResult(
@@ -114,7 +141,21 @@ class PrController:
                     compressed=True,
                     config_ok=False,
                 )
-            words = self.decompressor.decode(raw)
+            try:
+                words = self.decompressor.decode(raw)
+            except CompressedFormatError:
+                # Magic was intact but the payload is torn: a corrupt
+                # compressed stream is a failed activation, not a crash.
+                self.error_irq.assert_()
+                self.memctrl.invalidate()
+                return ActivationResult(
+                    region=slot.region,
+                    latency_us=(self.sim.now - started) / 1e3,
+                    bitstream_words=0,
+                    sram_words=sram_words,
+                    compressed=True,
+                    config_ok=False,
+                )
         else:
             words = raw
 

@@ -24,7 +24,16 @@ from ..sim import Simulator
 
 from .memctrl import SramMemoryController, SramSlot
 
-__all__ = ["PendingBitstream", "PsScheduler"]
+__all__ = ["PendingBitstream", "PreloadError", "PsScheduler"]
+
+
+class PreloadError(RuntimeError):
+    """A DRAM→SRAM staging transfer failed (bus error mid-preload).
+
+    The half-filled slot is invalidated before this is raised, so a
+    subsequent activation cannot stream the torn image; the caller may
+    re-enqueue and retry the preload.
+    """
 
 
 @dataclass
@@ -58,6 +67,8 @@ class PsScheduler:
         self.name = name
         self._queue: Deque[PendingBitstream] = deque()
         self.preloads_completed = 0
+        #: Names of images whose staging failed, in failure order.
+        self.failed_preloads: List[str] = []
 
     # -- queue ------------------------------------------------------------
     def enqueue(self, pending: PendingBitstream) -> None:
@@ -94,7 +105,21 @@ class PsScheduler:
         last_write = None
         while remaining:
             chunk = min(self.STAGE_BURST_BYTES, remaining)
-            data = yield self.dram_port.read(cursor, chunk)
+            try:
+                data = yield self.dram_port.read(cursor, chunk)
+            except Exception as exc:
+                # Bus error mid-stage: let in-flight SRAM writes land,
+                # then invalidate the torn slot and report the failure
+                # cleanly instead of leaving the caller deadlocked on a
+                # fill that will never finish.
+                if last_write is not None:
+                    yield last_write
+                self.memctrl.invalidate()
+                self.failed_preloads.append(pending.name)
+                raise PreloadError(
+                    f"preload of {pending.name!r} failed at DRAM "
+                    f"{cursor:#x}: {exc}"
+                ) from exc
             words = [
                 int.from_bytes(data[i : i + 4], "big")
                 for i in range(0, len(data), 4)

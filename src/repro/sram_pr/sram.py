@@ -17,7 +17,7 @@ payload bandwidth and the datasheet's 0.45 ns access time.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from ..sim import Event, Simulator
 
@@ -42,6 +42,15 @@ class QdrSram:
         self._write_busy_until = 0.0
         self.bytes_read = 0
         self.bytes_written = 0
+        self.read_faults = 0
+        #: Optional fault hook (installed by chaos tests):
+        #: ``fault_read_error(word_addr, word_count)`` may return an
+        #: exception with which the read burst completes instead of data —
+        #: a parity/ECC error on the read port.  The burst still occupies
+        #: the port for its full duration before failing.
+        self.fault_read_error: Optional[
+            Callable[[int, int], Optional[Exception]]
+        ] = None
 
     # -- capacity ------------------------------------------------------------
     @property
@@ -88,6 +97,12 @@ class QdrSram:
             duration = self.ACCESS_NS + word_count * 4 / self.PORT_BANDWIDTH
             self._read_busy_until = start + duration
             yield self.sim.timeout(self._read_busy_until - self.sim.now)
+            if self.fault_read_error is not None:
+                error = self.fault_read_error(word_addr, word_count)
+                if error is not None:
+                    self.read_faults += 1
+                    done.fail(error)
+                    return
             words = [self._words.get(word_addr + i, 0) for i in range(word_count)]
             self.bytes_read += word_count * 4
             done.succeed(words)

@@ -238,6 +238,9 @@ def run_scenario(scenario) -> Dict[str, Any]:
         ),
         "checks": monitor.checks,
         "violations": list(monitor.violations),
+        "unhandled_failures": [
+            process.name for process in system.sim.unhandled_failures
+        ],
         "events_processed": system.sim.events_processed,
     }
 
@@ -371,6 +374,10 @@ class FuzzReport:
     findings: List[Dict[str, Any]] = field(default_factory=list)
     shrink_evals: int = 0
     oracle_scenarios: int = 0
+    #: ``(case index, process name)`` for every simulation process that
+    #: died with an unhandled exception — quietly dead daemons are a
+    #: robustness bug even when no invariant tripped.
+    unhandled_failures: List[Tuple[int, str]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -399,6 +406,8 @@ def run_fuzz(
         report.events_processed += record["events_processed"]
         report.succeeded_ops += record["succeeded_ops"]
         report.total_ops += len(record["ops"])
+        for name in record["unhandled_failures"]:
+            report.unhandled_failures.append((scenario.index, name))
         if record["violations"]:
             finding: Dict[str, Any] = {
                 "scenario": scenario.to_mapping(),
@@ -455,6 +464,12 @@ def format_report(report: FuzzReport) -> str:
             f"differential oracle: {report.oracle_scenarios} scenario(s) "
             f"replayed twice + serial-vs-parallel merge compared"
         )
+    if report.unhandled_failures:
+        lines.append(
+            f"UNHANDLED FAILURES: {len(report.unhandled_failures)} process(es)"
+        )
+        for index, name in report.unhandled_failures:
+            lines.append(f"  - case {index}: {name}")
     if report.ok:
         lines.append("violations: 0")
     else:

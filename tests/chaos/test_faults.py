@@ -1,0 +1,72 @@
+"""Tests for the fault taxonomy and seed-deterministic fault plans."""
+
+import pytest
+
+from repro.chaos import ENVIRONMENT_KINDS, FAULT_KINDS, Fault, build_fault_plan
+
+
+def test_plan_is_pure_function_of_seed():
+    first = build_fault_plan(7, 50_000.0, 6, seu_per_ms=0.05)
+    second = build_fault_plan(7, 50_000.0, 6, seu_per_ms=0.05)
+    assert first == second
+    assert first.faults == second.faults
+
+
+def test_different_seeds_differ():
+    a = build_fault_plan(1, 50_000.0, 6, seu_per_ms=0.05)
+    b = build_fault_plan(2, 50_000.0, 6, seu_per_ms=0.05)
+    assert a.faults != b.faults
+
+
+def test_full_taxonomy_coverage_with_seven_faults():
+    # Environmental kinds rotate, so >= 7 faults cover all seven kinds.
+    plan = build_fault_plan(3, 100_000.0, 7, seu_per_ms=0.05)
+    by_kind = plan.by_kind()
+    for kind in ENVIRONMENT_KINDS:
+        assert by_kind.get(kind, 0) >= 1, kind
+    assert "seu" in by_kind
+    assert plan.kinds_covered == len(FAULT_KINDS)
+
+
+def test_faults_sorted_by_time():
+    plan = build_fault_plan(5, 80_000.0, 7, seu_per_ms=0.1)
+    times = [fault.at_us for fault in plan.faults]
+    assert times == sorted(times)
+    # Everything is scheduled inside the episode's settling margin.
+    assert all(0 < t <= 80_000.0 * 0.85 for t in times)
+
+
+def test_seu_rate_scales_arrivals():
+    quiet = build_fault_plan(9, 200_000.0, 0, seu_per_ms=0.005)
+    busy = build_fault_plan(9, 200_000.0, 0, seu_per_ms=0.5)
+    assert len(busy.faults) > len(quiet.faults)
+    assert all(fault.kind == "seu" for fault in busy.faults)
+
+
+def test_seu_params_are_bounded():
+    plan = build_fault_plan(11, 300_000.0, 0, seu_per_ms=0.2)
+    assert plan.faults, "expected some SEU arrivals at this rate"
+    for fault in plan.faults:
+        assert fault.param("region") in ("RP1", "RP2", "RP3", "RP4")
+        assert 0 <= fault.param("offset_words") < 1304 * 101
+        mask = fault.param("flip_mask")
+        assert mask and mask & (mask - 1) == 0  # single-bit flip
+
+
+def test_fault_records_are_plain_data():
+    plan = build_fault_plan(13, 60_000.0, 3)
+    for fault in plan.faults:
+        mapping = fault.to_mapping()
+        assert mapping["kind"] == fault.kind
+        assert mapping["at_us"] == fault.at_us
+        # params round-trip through the accessor.
+        for key, value in fault.params:
+            assert fault.param(key) == value
+    assert Fault("seu", 1.0).param("missing", 42) == 42
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        build_fault_plan(1, 0.0, 3)
+    with pytest.raises(ValueError):
+        build_fault_plan(1, 1000.0, -1)

@@ -1,0 +1,76 @@
+"""Tests for the ``repro-pdr chaos`` subcommand."""
+
+import contextlib
+import io
+import json
+
+import pytest
+
+from repro.chaos import SoakCaseGenerator
+from repro.experiments.cli import main
+
+
+def run_cli(argv):
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = main(argv)
+    return code, buffer.getvalue()
+
+
+def test_chaos_campaign_exits_zero_and_reports():
+    code, out = run_cli(["chaos", "--seed", "1", "--cases", "1"])
+    assert code == 0
+    assert "seed 1" in out
+    assert "1 episode(s)" in out
+    assert "SLO breaches: 0" in out
+    assert "violations: 0" in out
+
+
+def test_chaos_campaign_output_is_byte_identical():
+    first = run_cli(["chaos", "--seed", "1", "--cases", "1"])
+    second = run_cli(["chaos", "--seed", "1", "--cases", "1"])
+    assert first == second
+
+
+def test_chaos_replay_prints_episode_record():
+    case = SoakCaseGenerator(1).generate(0)
+    payload = json.dumps(case.to_mapping())
+    code, out = run_cli(["chaos", "--replay", payload])
+    assert code == 0
+    record = json.loads(out)
+    assert record["case"]["fault_seed"] == case.fault_seed
+    assert record["faults"]["injected"] == record["faults"]["planned"]
+    assert record["violations"] == []
+    # Replays are deterministic down to the byte.
+    assert run_cli(["chaos", "--replay", payload]) == (code, out)
+
+
+def test_chaos_slo_breach_exits_one():
+    code, out = run_cli(
+        ["chaos", "--seed", "1", "--cases", "1", "--min-availability", "1.0"]
+    )
+    assert code == 1
+    assert "SLO BREACHES" in out
+
+
+def test_chaos_accepts_no_fail_on_unhandled():
+    code, _ = run_cli(
+        ["chaos", "--seed", "1", "--cases", "1", "--no-fail-on-unhandled"]
+    )
+    assert code == 0
+
+
+def test_chaos_cannot_combine_with_experiments():
+    with pytest.raises(SystemExit):
+        main(["chaos", "table2"])
+
+
+def test_fuzz_replay_record_lists_unhandled_failures():
+    """The fuzz record schema now carries the dead-process list."""
+    from repro.verify.fuzz import ScenarioGenerator
+
+    scenario = ScenarioGenerator(1).generate(0)
+    code, out = run_cli(["fuzz", "--replay", json.dumps(scenario.to_mapping())])
+    assert code == 0
+    record = json.loads(out)
+    assert record["unhandled_failures"] == []

@@ -1,0 +1,159 @@
+"""Fault injection against the §VI SRAM-PR pipeline.
+
+The scheduler and PR controller must *report* staging/activation faults
+(failed preload, torn slot, read-port error) instead of deadlocking the
+simulation or leaving a half-filled slot activatable.
+"""
+
+import pytest
+
+from repro.axi import AxiSlaveError
+from repro.fabric import FirFilterAsp
+from repro.sram_pr import PreloadError, SramPrSystem
+
+WORKLOAD = FirFilterAsp([2, 7, 1])
+
+
+@pytest.fixture()
+def system():
+    return SramPrSystem()
+
+
+def run_preload(system):
+    return system.sim.run_until(
+        system.sim.process(system.scheduler.preload_next(), name="preload")
+    )
+
+
+def run_activate(system):
+    return system.sim.run_until(
+        system.sim.process(system.pr_controller.activate(), name="activate")
+    )
+
+
+# ------------------------------------------------------------- staging faults
+def test_axi_error_mid_preload_reports_failed_request(system):
+    pending = system.prepare_image("RP1", WORKLOAD, compress=False)
+    system.scheduler.enqueue(pending)
+
+    hits = []
+
+    def deny_reads(kind, addr, size):
+        if kind == "r":
+            hits.append(addr)
+            return AxiSlaveError(f"injected SLVERR @{addr:#x}")
+        return None
+
+    system.interconnect.fault_error = deny_reads
+    with pytest.raises(PreloadError, match=pending.name):
+        run_preload(system)
+
+    # The failure is *reported*, not silently swallowed or deadlocked.
+    assert hits
+    assert system.scheduler.failed_preloads == [pending.name]
+    assert system.scheduler.preloads_completed == 0
+    # The torn slot cannot be activated.
+    assert not system.memctrl.slot_valid
+    with pytest.raises(RuntimeError, match="no valid staged bitstream"):
+        system.pr_controller.activate().send(None)
+
+
+def test_preload_failure_leaves_scheduler_usable(system):
+    """No deadlock: the very same scheduler retries once the bus heals."""
+    pending = system.prepare_image("RP2", WORKLOAD, compress=False)
+    system.scheduler.enqueue(pending)
+    budget = [1]  # one burst fails, then the bus recovers
+
+    def flaky(kind, addr, size):
+        if kind == "r" and budget[0] > 0:
+            budget[0] -= 1
+            return AxiSlaveError("transient SLVERR")
+        return None
+
+    system.interconnect.fault_error = flaky
+    with pytest.raises(PreloadError):
+        run_preload(system)
+
+    # Re-enqueue and retry on the *same* simulator: clean completion.
+    retry = system.prepare_image("RP2", WORKLOAD, compress=False)
+    system.scheduler.enqueue(retry)
+    slot = run_preload(system)
+    assert slot.region == "RP2"
+    assert system.memctrl.slot_valid
+    result = run_activate(system)
+    assert result.config_ok
+    assert system.run_asp("RP2", [1, 0, 0]) == [2, 7, 1]
+
+
+def test_mid_stage_failure_happens_after_partial_fill(system):
+    """The error path exercises the torn-slot case, not the first burst."""
+    pending = system.prepare_image("RP3", WORKLOAD, compress=False)
+    system.scheduler.enqueue(pending)
+    seen = [0]
+
+    def fail_third_burst(kind, addr, size):
+        if kind != "r":
+            return None
+        seen[0] += 1
+        if seen[0] == 3:
+            return AxiSlaveError("SLVERR on burst 3")
+        return None
+
+    system.interconnect.fault_error = fail_third_burst
+    with pytest.raises(PreloadError, match="burst 3"):
+        run_preload(system)
+    assert seen[0] == 3
+    assert not system.memctrl.slot_valid
+
+
+# ---------------------------------------------------------- activation faults
+def test_sram_read_error_fails_activation_cleanly(system):
+    pending = system.prepare_image("RP1", WORKLOAD, compress=False)
+    system.scheduler.enqueue(pending)
+    run_preload(system)
+
+    system.sram.fault_read_error = lambda addr, count: RuntimeError(
+        "injected read-port parity error"
+    )
+    result = run_activate(system)
+    system.sram.fault_read_error = None
+
+    # A failed ActivationResult, not an unhandled dead process.
+    assert not result.config_ok
+    assert result.bitstream_words == 0
+    assert system.pr_controller.read_errors == 1
+    assert system.pr_controller.error_irq.asserted
+    assert not system.memctrl.slot_valid
+    assert system.sim.unhandled_failures == []
+
+    # The fabric was never touched and the pipeline still works.
+    again = system.reconfigure("RP1", WORKLOAD, compress=False)
+    assert again.crc_valid
+    assert system.run_asp("RP1", [1, 0, 0]) == [2, 7, 1]
+
+
+def test_decompressor_stall_degrades_but_completes(system):
+    baseline = system.reconfigure("RP4", WORKLOAD, compress=True)
+    assert baseline.crc_valid
+
+    stall_ns = 250_000.0
+    system.pr_controller.fault_decomp_stall_ns = lambda: stall_ns
+    stalled = system.reconfigure("RP4", WORKLOAD, compress=True)
+    system.pr_controller.fault_decomp_stall_ns = None
+
+    # Backpressure, not data loss: the activation succeeds, only slower.
+    assert stalled.crc_valid
+    assert stalled.activation.config_ok
+    assert system.pr_controller.decomp_stalls == 1
+    assert stalled.activation_latency_us == pytest.approx(
+        baseline.activation_latency_us + stall_ns / 1e3, rel=0.01
+    )
+    assert system.run_asp("RP4", [1, 0, 0]) == [2, 7, 1]
+
+
+def test_decomp_stall_hook_not_consulted_for_uncompressed(system):
+    calls = []
+    system.pr_controller.fault_decomp_stall_ns = lambda: calls.append(1) or 0.0
+    result = system.reconfigure("RP2", WORKLOAD, compress=False)
+    assert result.crc_valid
+    assert calls == []
