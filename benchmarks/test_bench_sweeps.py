@@ -44,7 +44,14 @@ def _run_all_modes(tmp_dir):
     serial = SweepRunner(jobs=1).run(spec)
     report["serial"] = {
         "wall_s": round(time.perf_counter() - t0, 3),
-        "points": [stat.to_dict() for stat in serial.stats],
+        # Per-point latency rides along so `bench --check` can gate the
+        # simulated physics, not just the kernel event counts.
+        "points": [
+            {**stat.to_dict()}
+            if result.latency_us is None
+            else {**stat.to_dict(), "latency_us": result.latency_us}
+            for stat, result in zip(serial.stats, serial.values)
+        ],
     }
 
     t0 = time.perf_counter()

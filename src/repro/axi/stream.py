@@ -161,6 +161,16 @@ class AxiStream:
 
     # -- inspection ---------------------------------------------------------------
     @property
+    def backpressure_ns(self) -> float:
+        """Total sim time producers spent stalled on a full FIFO.
+
+        Reads the ``<name>.backpressure_ns`` counter (0.0 under a
+        compiled-out registry); the critical-path extractor diffs this
+        around the DMA transfer window to attribute consumer-bound time.
+        """
+        return self._m_stall_ns.value
+
+    @property
     def queued_bursts(self) -> int:
         return self._bursts.level
 

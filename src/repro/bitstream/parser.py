@@ -110,7 +110,10 @@ class BitstreamParser:
             if header_word == NOOP_WORD:
                 result.noop_words += 1
                 continue
-            header = decode_header(header_word)
+            try:
+                header = decode_header(header_word)
+            except ValueError as exc:
+                raise BitstreamFormatError(str(exc)) from None
             if header.packet_type == 1:
                 register = header.register_addr
                 last_register = register

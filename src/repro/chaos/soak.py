@@ -35,6 +35,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..core import PdrSystem, PdrSystemConfig
 from ..exec import SweepRunner
+from ..obs.campaign import CampaignReport, aggregate_campaign
 from ..resilience import ResilientReconfigurator
 from ..verify.fuzz import ASP_KINDS, REGIONS, _make_asp
 from ..verify.invariants import InvariantMonitor
@@ -311,9 +312,28 @@ def _grade_episode(
         if rec["recovered"] and rec["recovery_latency_us"] is not None
     ]
 
+    # -- telemetry fold --------------------------------------------------------
+    # The modal bottleneck device across the episode's reconfigurations
+    # (alphabetical tie-break keeps replay identity).
+    cp_counts: Dict[str, int] = {}
+    for result in system.results:
+        if result.critical_path:
+            cp_counts[result.critical_path] = (
+                cp_counts.get(result.critical_path, 0) + 1
+            )
+    modal_cp = (
+        sorted(cp_counts, key=lambda name: (-cp_counts[name], name))[0]
+        if cp_counts
+        else None
+    )
+
     injected = injector.injected_count
     return {
         "case": case.to_mapping(),
+        "label": f"case{case.index}",
+        "critical_path": modal_cp,
+        "events": float(system.sim.events_processed),
+        "metrics": system.metrics.to_dict(end_ns=episode_ns),
         "ops": op_records,
         "faults": {
             "planned": len(injector.plan.faults),
@@ -388,6 +408,9 @@ class SoakReport:
     #: ``(case index, process name)`` for every process that died with an
     #: unhandled exception during a case (also folded into findings).
     unhandled: List[Tuple[int, str]] = field(default_factory=list)
+    #: Telemetry rollup of the per-case records (metric p50/p99, modal
+    #: critical paths) — what ``repro-pdr report --from-chaos`` renders.
+    campaign: Optional[CampaignReport] = None
 
     @property
     def ok(self) -> bool:
@@ -414,6 +437,7 @@ def run_soak(
     )
 
     report = SoakReport(seed=seed, cases=cases, slos=slos or SoakSlos())
+    report.campaign = aggregate_campaign(f"chaos-soak-seed{seed}", records)
     availabilities: List[float] = []
     mttr_samples: List[float] = []
     for case, record in zip(soak_cases, records):

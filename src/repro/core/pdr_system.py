@@ -41,7 +41,8 @@ from ..dma import (
 from ..dram import DramController, DramDevice
 from ..fabric import Asp, ConfigMemory, RpRegion, encode_asp_frames
 from ..icap import IcapController
-from ..obs import TELEMETRY_BOOK, MetricsRegistry, SpanRecorder
+from ..obs import TELEMETRY_BOOK, MetricsRegistry, NullMetricsRegistry, SpanRecorder
+from ..obs.profile import attribute_devices, critical_path as _critical_path
 from ..power import CurrentSense, PowerModel, PowerModelParams, PowerSupply
 from ..ps import GlobalTimer, InterruptController, Pcap
 from ..sim import ClockDomain, Simulator, Tracer
@@ -87,6 +88,13 @@ class PdrSystemConfig:
     dma_burst_bytes: int = 1024
     #: DMA command-issue overhead per burst, in over-clock cycles.
     dma_cmd_overhead_cycles: int = 10
+    #: Compile the telemetry probes out: metrics become shared no-ops and
+    #: the tracer stops retaining records.  Phase spans (and therefore
+    #: ``ReconfigResult.phase_us``/``critical_path``) survive — they are
+    #: part of the result contract, not the instrumentation.  The
+    #: probe-overhead benchmark (``benchmarks/test_bench_obs.py``)
+    #: measures this flag's worth.
+    telemetry: bool = True
 
 
 class PdrSystem:
@@ -112,7 +120,12 @@ class PdrSystem:
 
         #: Shared telemetry: every component namespaces its counters,
         #: gauges and histograms into this registry (``component.metric``).
-        self.metrics = MetricsRegistry(now_fn=lambda: sim.now, name="pdr_system")
+        #: With ``config.telemetry=False`` the probes are compiled out —
+        #: the same wiring lands on shared no-op metrics instead.
+        if self.config.telemetry:
+            self.metrics = MetricsRegistry(now_fn=lambda: sim.now, name="pdr_system")
+        else:
+            self.metrics = NullMetricsRegistry(name="pdr_system")
 
         # ---- fabric ---------------------------------------------------------
         self.layout = make_z7020_layout()
@@ -197,8 +210,11 @@ class PdrSystem:
         # ---- timing / failure model -----------------------------------------
         self.timing = timing_model or default_timing_model()
 
-        #: Firmware/system event trace (bounded ring buffer).
+        #: Firmware/system event trace (bounded ring buffer); retention
+        #: follows the telemetry flag (emission is lazy, so a disabled
+        #: tracer costs one boolean check per emit).
         self.trace = Tracer()
+        self.trace.enabled = self.config.telemetry
         self._staging_cursor = self.config.bitstream_base_addr
         self._bitstream_cache: Dict[tuple, Bitstream] = {}
         self._staged_addrs: Dict[int, int] = {}
@@ -223,8 +239,9 @@ class PdrSystem:
         self._m_irq_timeouts = metrics.counter("fw.irq_timeouts")
         self._m_latency_us = metrics.histogram("fw.latency_us")
         self._m_brownout_clamps = metrics.counter("power.brownout_clamps")
-        TELEMETRY_BOOK.register(metrics, "pdr_system")
-        TELEMETRY_BOOK.register_tracer(self.trace, "pdr_system")
+        if self.config.telemetry:
+            TELEMETRY_BOOK.register(metrics, "pdr_system")
+            TELEMETRY_BOOK.register_tracer(self.trace, "pdr_system")
 
     # ------------------------------------------------------------------ bench --
     def set_die_temperature(self, temp_c: float) -> None:
@@ -522,6 +539,10 @@ class PdrSystem:
             with spans.span("driver_setup"):
                 yield self.sim.timeout(config.firmware_setup_us * 1e3)
 
+            # FIFO backpressure accumulated during the transfer window is
+            # consumer-bound time (the ICAP draining slower than the DMA
+            # fills); the critical-path extractor re-attributes it.
+            stall_before_ns = self.stream.backpressure_ns
             with spans.span("dma_transfer"):
                 # 4. Arm the ICAP and start the DMA.
                 self.icap.begin_transfer()
@@ -581,6 +602,9 @@ class PdrSystem:
             pdr_power = max(0.0, board_power - self.power_model.params.p0_board_w)
             self._power_series.sample(board_power)
             self._temp_series.sample(self.thermal.temperature_c)
+        phase_us = spans.breakdown_us(parent="reconfigure")
+        stall_us = max(0.0, self.stream.backpressure_ns - stall_before_ns) / 1e3
+        device_us = attribute_devices(phase_us, stall_us)
         result = ReconfigResult(
             region=region,
             requested_freq_mhz=freq_mhz,
@@ -593,7 +617,9 @@ class PdrSystem:
             pdr_power_w=pdr_power,
             board_power_w=board_power,
             failure_modes=failure_modes,
-            phase_us=spans.breakdown_us(parent="reconfigure"),
+            phase_us=phase_us,
+            critical_path=_critical_path(phase_us, stall_us),
+            device_us={name: round(us, 3) for name, us in device_us.items()},
         )
         self._update_oled(result)
         return result

@@ -51,6 +51,15 @@ class ReconfigResult:
     #: by the firmware sequence.  See :data:`PHASES` for the order and
     #: :data:`TIMED_PHASES` for the subset covered by ``latency_us``.
     phase_us: Dict[str, float] = field(default_factory=dict)
+    #: The device that owned the largest share of this reconfiguration's
+    #: simulation time (``clock_wizard``/``cpu``/``dma``/``icap``/
+    #: ``scrubber``), extracted by
+    #: :func:`repro.obs.profile.critical_path` from the phase spans plus
+    #: the DMA→ICAP FIFO backpressure accounting.
+    critical_path: Optional[str] = None
+    #: Per-device share of the reconfiguration (device -> µs); the
+    #: breakdown :attr:`critical_path` is the argmax of.
+    device_us: Dict[str, float] = field(default_factory=dict)
 
     @property
     def throughput_mb_s(self) -> Optional[float]:

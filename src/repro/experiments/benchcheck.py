@@ -1,0 +1,311 @@
+"""Perf-regression gate behind ``repro-pdr bench --check``.
+
+The benchmark suite commits its measurements to ``BENCH_sweeps.json`` and
+``BENCH_chaos.json`` at the repo root.  This module re-runs small fresh
+probes of the same workloads and diffs them against those baselines:
+
+* **simulation metrics** (per-point events, latency, availability,
+  recovery rate, MTTR percentiles) are products of the deterministic
+  kernel, so they gate with a *tight* tolerance — a regression here is a
+  real behaviour change, not noise;
+* **wall-clock** is advisory by default (a 1-core CI container is far
+  too noisy to gate on) and only gates when the caller passes an
+  explicit ``wall_tolerance``.
+
+``inject_scale`` multiplies every fresh measurement in its
+worse-direction before comparison — the CI self-test that proves the
+gate actually fires (``--inject-scale 2.0`` must exit non-zero).
+
+Exit codes: 0 all checks pass, 1 at least one regression, 2 baseline
+missing/unreadable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Check",
+    "DEFAULT_TOLERANCE",
+    "load_baseline",
+    "probe_chaos",
+    "probe_sweeps",
+    "run_check",
+]
+
+#: Default fractional tolerance for deterministic simulation metrics.
+DEFAULT_TOLERANCE = 0.02
+
+#: Repo root when running from a source checkout (src/repro/experiments
+#: is three levels below it); ``baseline_dir`` overrides for installs.
+_REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+)
+
+BASELINE_FILES = {
+    "sweeps": "BENCH_sweeps.json",
+    "chaos": "BENCH_chaos.json",
+}
+
+
+@dataclass(frozen=True)
+class Check:
+    """One baseline-vs-fresh comparison."""
+
+    suite: str
+    metric: str
+    baseline: float
+    fresh: float
+    tolerance: float
+    #: Which direction is a regression: ``"higher"`` (latency, MTTR,
+    #: events, wall) or ``"lower"`` (availability, recovery rate).
+    worse: str = "higher"
+    #: Advisory checks are reported but never fail the gate.
+    advisory: bool = False
+
+    @property
+    def delta(self) -> float:
+        """Signed fractional change in the worse direction."""
+        scale = max(abs(self.baseline), 1e-12)
+        change = (self.fresh - self.baseline) / scale
+        return change if self.worse == "higher" else -change
+
+    @property
+    def regressed(self) -> bool:
+        return not self.advisory and self.delta > self.tolerance
+
+    def render(self) -> str:
+        verdict = "REGRESSED" if self.regressed else (
+            "advisory" if self.advisory else "ok"
+        )
+        return (
+            f"{self.suite}.{self.metric}: baseline {self.baseline:g}, "
+            f"fresh {self.fresh:g} ({self.delta:+.1%} worse-direction, "
+            f"tol {self.tolerance:.1%}) [{verdict}]"
+        )
+
+
+def load_baseline(suite: str, baseline_dir: Optional[str] = None) -> Dict[str, Any]:
+    """Load a committed baseline document; raises ``FileNotFoundError``."""
+    path = os.path.join(baseline_dir or _REPO_ROOT, BASELINE_FILES[suite])
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+# ---------------------------------------------------------------------------
+# Fresh probes
+# ---------------------------------------------------------------------------
+
+
+def probe_sweeps(frequencies_mhz: Sequence[float]) -> Dict[str, Any]:
+    """Re-run the benchmark sweep serially; per-point events + latency."""
+    from ..exec import SweepRunner, SweepSpec
+    from .points import asp_descriptor, reconfigure_point
+    from .table1 import WORKLOAD_ASP
+
+    workload = asp_descriptor(WORKLOAD_ASP)
+    spec = SweepSpec.map(
+        "bench-check",
+        reconfigure_point,
+        [
+            dict(region="RP1", freq_mhz=freq, temp_c=40.0, workload=workload)
+            for freq in frequencies_mhz
+        ],
+        labels=[f"bench@{freq:g}MHz" for freq in frequencies_mhz],
+    )
+    t0 = time.perf_counter()
+    run = SweepRunner(jobs=1).run(spec)
+    wall_s = time.perf_counter() - t0
+    points: Dict[str, Dict[str, float]] = {}
+    for stat, result in zip(run.stats, run.values):
+        point: Dict[str, float] = {"events": float(stat.events)}
+        if result.latency_us is not None:
+            point["latency_us"] = float(result.latency_us)
+        points[stat.label] = point
+    return {"wall_s": wall_s, "points": points}
+
+
+def probe_chaos(seed: int, cases: int) -> Dict[str, Any]:
+    """Re-run the benchmark soak campaign; resilience + MTTR figures."""
+    from ..chaos import run_soak
+
+    t0 = time.perf_counter()
+    report = run_soak(seed=seed, cases=cases)
+    wall_s = time.perf_counter() - t0
+    fresh: Dict[str, Any] = {
+        "wall_s": wall_s,
+        "availability_mean": report.availability_mean,
+        "availability_min": report.availability_min,
+        "recovery_rate": report.recovery_rate,
+        "faults_injected": float(report.faults_injected),
+        "faults_recovered": float(report.faults_recovered),
+        "kernel_events": float(report.events_processed),
+    }
+    if report.mttr_p50_us is not None:
+        fresh["mttr_p50_us"] = report.mttr_p50_us
+    if report.mttr_p99_us is not None:
+        fresh["mttr_p99_us"] = report.mttr_p99_us
+    return fresh
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+
+
+def _scaled(value: float, worse: str, inject_scale: float) -> float:
+    """Apply the self-test distortion in the metric's worse direction."""
+    if inject_scale == 1.0:
+        return value
+    return value * inject_scale if worse == "higher" else value / inject_scale
+
+
+def _check(
+    checks: List[Check],
+    suite: str,
+    metric: str,
+    baseline: Optional[float],
+    fresh: Optional[float],
+    tolerance: float,
+    worse: str = "higher",
+    advisory: bool = False,
+    inject_scale: float = 1.0,
+) -> None:
+    """Append one comparison when both sides exist (else skip silently —
+    older baselines may predate a metric)."""
+    if baseline is None or fresh is None:
+        return
+    checks.append(
+        Check(
+            suite=suite,
+            metric=metric,
+            baseline=float(baseline),
+            fresh=_scaled(float(fresh), worse, inject_scale),
+            tolerance=tolerance,
+            worse=worse,
+            advisory=advisory,
+        )
+    )
+
+
+def _compare_sweeps(
+    baseline: Mapping[str, Any],
+    fresh: Mapping[str, Any],
+    tolerance: float,
+    wall_tolerance: Optional[float],
+    inject_scale: float,
+) -> List[Check]:
+    checks: List[Check] = []
+    serial = baseline.get("runs", {}).get("serial", {})
+    base_points = {
+        point["label"]: point for point in serial.get("points", [])
+    }
+    for label, fresh_point in sorted(fresh["points"].items()):
+        base_point = base_points.get(label, {})
+        _check(
+            checks, "sweeps", f"{label}.events",
+            base_point.get("events"), fresh_point.get("events"),
+            tolerance, worse="higher", inject_scale=inject_scale,
+        )
+        _check(
+            checks, "sweeps", f"{label}.latency_us",
+            base_point.get("latency_us"), fresh_point.get("latency_us"),
+            tolerance, worse="higher", inject_scale=inject_scale,
+        )
+    _check(
+        checks, "sweeps", "wall_s",
+        serial.get("wall_s"), fresh.get("wall_s"),
+        wall_tolerance if wall_tolerance is not None else tolerance,
+        worse="higher", advisory=wall_tolerance is None,
+        inject_scale=inject_scale,
+    )
+    return checks
+
+
+def _compare_chaos(
+    baseline: Mapping[str, Any],
+    fresh: Mapping[str, Any],
+    tolerance: float,
+    wall_tolerance: Optional[float],
+    inject_scale: float,
+) -> List[Check]:
+    checks: List[Check] = []
+    availability = baseline.get("availability", {})
+    mttr = baseline.get("mttr_us", {})
+    faults = baseline.get("faults", {})
+    spec = [
+        ("availability_mean", availability.get("mean"), "lower"),
+        ("availability_min", availability.get("min"), "lower"),
+        ("recovery_rate", baseline.get("recovery_rate"), "lower"),
+        ("mttr_p50_us", mttr.get("p50"), "higher"),
+        ("mttr_p99_us", mttr.get("p99"), "higher"),
+        ("faults_recovered", faults.get("recovered"), "lower"),
+        ("kernel_events", baseline.get("kernel_events"), "higher"),
+    ]
+    for metric, base_value, worse in spec:
+        _check(
+            checks, "chaos", metric, base_value, fresh.get(metric),
+            tolerance, worse=worse, inject_scale=inject_scale,
+        )
+    _check(
+        checks, "chaos", "wall_s",
+        baseline.get("soak_wall_s"), fresh.get("wall_s"),
+        wall_tolerance if wall_tolerance is not None else tolerance,
+        worse="higher", advisory=wall_tolerance is None,
+        inject_scale=inject_scale,
+    )
+    return checks
+
+
+def run_check(
+    suites: Sequence[str] = ("sweeps", "chaos"),
+    tolerance: float = DEFAULT_TOLERANCE,
+    wall_tolerance: Optional[float] = None,
+    inject_scale: float = 1.0,
+    baseline_dir: Optional[str] = None,
+) -> Tuple[int, List[str]]:
+    """Diff fresh probe runs against the committed baselines.
+
+    Returns ``(exit_code, report_lines)``; the CLI prints the lines and
+    exits with the code.
+    """
+    lines: List[str] = []
+    checks: List[Check] = []
+    for suite in suites:
+        try:
+            baseline = load_baseline(suite, baseline_dir)
+        except (FileNotFoundError, json.JSONDecodeError) as exc:
+            lines.append(f"{suite}: baseline unreadable ({exc})")
+            return 2, lines
+        if suite == "sweeps":
+            freqs = baseline.get("sweep", {}).get(
+                "frequencies_mhz", [100.0, 200.0, 320.0]
+            )
+            fresh = probe_sweeps(freqs)
+            checks += _compare_sweeps(
+                baseline, fresh, tolerance, wall_tolerance, inject_scale
+            )
+        elif suite == "chaos":
+            campaign = baseline.get("campaign", {})
+            fresh = probe_chaos(
+                int(campaign.get("seed", 1)), int(campaign.get("cases", 3))
+            )
+            checks += _compare_chaos(
+                baseline, fresh, tolerance, wall_tolerance, inject_scale
+            )
+        else:
+            lines.append(f"{suite}: unknown suite")
+            return 2, lines
+
+    regressions = [check for check in checks if check.regressed]
+    lines += [check.render() for check in checks]
+    lines.append(
+        f"bench --check: {len(checks)} comparison(s), "
+        f"{len(regressions)} regression(s)"
+        + (f" [inject-scale {inject_scale:g}]" if inject_scale != 1.0 else "")
+    )
+    return (1 if regressions else 0), lines

@@ -19,8 +19,19 @@ telemetry (``--metrics-out`` / ``--trace-dump``) only covers systems
 built in-process — run serially without ``--cache`` for full telemetry.
 
 ``--metrics-out PATH`` exports the metrics registry of every system the
-selected experiments constructed as one JSON document; ``--trace-dump
-[N]`` prints the last N (default 50) trace records of each system.
+selected experiments constructed (``--format`` selects JSON, OpenMetrics
+text or Perfetto-loadable Chrome trace JSON); ``--trace-dump [N]``
+prints the last N (default 50) trace records of each system;
+``--profile`` prints a per-system sim-time flame table.
+
+Two further subcommand-style experiments:
+
+* ``repro-pdr report`` runs a 56-point reconfiguration campaign and
+  emits the deterministic telemetry rollup (markdown to stdout, canonical
+  JSON via ``--out``) — byte-identical for any ``--jobs N``;
+* ``repro-pdr bench --check`` re-runs the benchmark probes and diffs
+  them against the committed ``BENCH_*.json`` baselines, exiting 1 on
+  regression (``--inject-scale 2.0`` self-tests the gate).
 """
 
 from __future__ import annotations
@@ -157,8 +168,11 @@ def _run_fuzz_command(args) -> int:
     if args.trace_dump is not None:
         for line in book.tail_traces(args.trace_dump):
             print(line)
+    if args.profile:
+        for table in book.flame_tables():
+            print(table)
     if args.metrics_out:
-        book.dump_json(args.metrics_out, experiments=["fuzz"])
+        book.dump(args.metrics_out, format=args.metrics_format, experiments=["fuzz"])
         print(
             f"wrote metrics for {len(book.registries)} system(s) "
             f"to {args.metrics_out}"
@@ -215,8 +229,11 @@ def _run_chaos_command(args) -> int:
     if args.trace_dump is not None:
         for line in book.tail_traces(args.trace_dump):
             print(line)
+    if args.profile:
+        for table in book.flame_tables():
+            print(table)
     if args.metrics_out:
-        book.dump_json(args.metrics_out, experiments=["chaos"])
+        book.dump(args.metrics_out, format=args.metrics_format, experiments=["chaos"])
         print(
             f"wrote metrics for {len(book.registries)} system(s) "
             f"to {args.metrics_out}"
@@ -227,6 +244,68 @@ def _run_chaos_command(args) -> int:
         _report_unhandled("chaos", unhandled)
         return 1
     return 0
+
+
+#: ``repro-pdr report`` campaign grid: 14 frequencies x 4 temperatures =
+#: 56 points, spanning the paper's robust region through the failure
+#: knee.  Fixed (not flag-tunable) so every invocation aggregates the
+#: same campaign and reports stay comparable across runs and machines.
+REPORT_FREQS_MHZ = [100.0 + 20.0 * step for step in range(14)]  # 100..360
+REPORT_TEMPS_C = [40.0, 60.0, 80.0, 100.0]
+
+
+def _run_report_command(args, runner: SweepRunner) -> int:
+    """``repro-pdr report``: campaign rollup (markdown stdout, JSON --out)."""
+    from ..obs.campaign import aggregate_campaign, render_json, render_markdown
+    from .points import asp_descriptor, campaign_point
+    from .table1 import WORKLOAD_ASP
+
+    workload = asp_descriptor(WORKLOAD_ASP)
+    params = []
+    labels = []
+    for temp_c in REPORT_TEMPS_C:
+        for freq in REPORT_FREQS_MHZ:
+            params.append(
+                dict(
+                    region="RP1", freq_mhz=freq, temp_c=temp_c,
+                    workload=workload,
+                )
+            )
+            labels.append(f"RP1@{freq:g}MHz/{temp_c:g}C")
+    records = runner.map("campaign_report", campaign_point, params, labels=labels)
+    report = aggregate_campaign("pdr-campaign", records)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(render_json(report))
+        print(
+            f"wrote campaign report ({report.points} points) to {args.out}",
+            file=sys.stderr,
+        )
+    print(render_markdown(report))
+    return 0
+
+
+def _run_bench_command(args) -> int:
+    """``repro-pdr bench --check``: the perf-regression gate."""
+    from .benchcheck import run_check
+
+    if not args.check:
+        print(
+            "bench: nothing to do without --check "
+            "(run `pytest benchmarks/` to regenerate baselines)",
+            file=sys.stderr,
+        )
+        return 2
+    code, lines = run_check(
+        suites=tuple(args.suite) if args.suite else ("sweeps", "chaos"),
+        tolerance=args.tolerance,
+        wall_tolerance=args.wall_tolerance,
+        inject_scale=args.inject_scale,
+        baseline_dir=args.baseline_dir,
+    )
+    for line in lines:
+        print(line)
+    return code
 
 
 def main(argv=None) -> int:
@@ -242,12 +321,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        choices=sorted(EXPERIMENTS) + ["all", "fuzz", "chaos"],
+        choices=sorted(EXPERIMENTS) + ["all", "bench", "chaos", "fuzz", "report"],
         help=(
             "which paper artifacts to regenerate; 'fuzz' instead runs the "
             "deterministic scenario fuzzer under the invariant monitor; "
             "'chaos' runs a seeded fault-injection soak campaign graded "
-            "against availability SLOs"
+            "against availability SLOs; 'report' aggregates a 56-point "
+            "campaign into a telemetry rollup; 'bench --check' diffs "
+            "fresh benchmark probes against the committed baselines"
         ),
     )
     parser.add_argument(
@@ -353,7 +434,85 @@ def main(argv=None) -> int:
         "--metrics-out",
         metavar="PATH",
         default=None,
-        help="write the telemetry of every simulated system to PATH as JSON",
+        help=(
+            "write the telemetry of every simulated system to PATH "
+            "(see --format)"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=["json", "openmetrics", "chrome-trace"],
+        default="json",
+        dest="metrics_format",
+        help=(
+            "--metrics-out serialisation: merged JSON document (default), "
+            "OpenMetrics text exposition, or Chrome trace-event JSON "
+            "(load in Perfetto; spans as B/E pairs, series as counters)"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print a sim-time flame table (hierarchical self/total span "
+            "attribution) for every system that recorded spans"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="report: also write the rollup as canonical JSON to PATH",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="bench: diff fresh probes against committed BENCH_*.json",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.02,
+        metavar="FRAC",
+        help=(
+            "bench: fractional tolerance for deterministic simulation "
+            "metrics (default 0.02)"
+        ),
+    )
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help=(
+            "bench: gate wall-clock at this fractional tolerance "
+            "(default: wall-clock is advisory only — CI containers are "
+            "too noisy to gate on)"
+        ),
+    )
+    parser.add_argument(
+        "--inject-scale",
+        type=float,
+        default=1.0,
+        metavar="F",
+        help=(
+            "bench: multiply fresh measurements by F in their "
+            "worse-direction before comparison (self-test hook: "
+            "--inject-scale 2.0 must exit 1)"
+        ),
+    )
+    parser.add_argument(
+        "--suite",
+        action="append",
+        choices=["sweeps", "chaos"],
+        default=None,
+        help="bench: check only this suite (repeatable; default both)",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        metavar="DIR",
+        default=None,
+        help="bench: directory holding BENCH_*.json (default repo root)",
     )
     parser.add_argument(
         "--trace-dump",
@@ -384,10 +543,20 @@ def main(argv=None) -> int:
             args.cases = 10
         return _run_chaos_command(args)
 
+    if "bench" in args.experiments:
+        if len(args.experiments) != 1:
+            parser.error("'bench' cannot be combined with other experiments")
+        return _run_bench_command(args)
+
     cache = None
     if args.cache is not None:
         cache = ResultCache(args.cache or default_cache_dir())
     runner = SweepRunner(jobs=args.jobs, cache=cache)
+
+    if "report" in args.experiments:
+        if len(args.experiments) != 1:
+            parser.error("'report' cannot be combined with other experiments")
+        return _run_report_command(args, runner)
 
     names = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
     with TELEMETRY_BOOK.capture() as book:
@@ -404,8 +573,11 @@ def main(argv=None) -> int:
     if args.trace_dump is not None:
         for line in book.tail_traces(args.trace_dump):
             print(line)
+    if args.profile:
+        for table in book.flame_tables():
+            print(table)
     if args.metrics_out:
-        book.dump_json(args.metrics_out, experiments=names)
+        book.dump(args.metrics_out, format=args.metrics_format, experiments=names)
         print(
             f"wrote metrics for {len(book.registries)} system(s) "
             f"to {args.metrics_out}"

@@ -24,7 +24,7 @@ from ..core import PdrSystem, PdrSystemConfig, ReconfigResult
 from ..exec import note_events
 from ..fabric import Asp, instantiate_asp
 
-__all__ = ["asp_descriptor", "make_system", "reconfigure_point"]
+__all__ = ["asp_descriptor", "campaign_point", "make_system", "reconfigure_point"]
 
 
 def asp_descriptor(asp: Asp) -> Tuple[int, Tuple[int, ...]]:
@@ -62,3 +62,43 @@ def reconfigure_point(
     result = system.reconfigure(region, asp, freq_mhz)
     note_events(system.sim.events_processed)
     return result
+
+
+def campaign_point(
+    region: str,
+    freq_mhz: float,
+    temp_c: float,
+    workload: Tuple[int, Tuple[int, ...]],
+    config=None,
+) -> dict:
+    """A :func:`reconfigure_point` flattened into a campaign record.
+
+    Returns the plain-data shape :func:`repro.obs.campaign.aggregate_campaign`
+    folds: the headline result fields, the per-phase/per-device breakdown,
+    the named critical-path device, and a full metrics snapshot closed at
+    the simulation's final timestamp (so time-weighted gauges integrate
+    their tail segment).  Plain data end to end — it crosses the
+    ``--jobs N`` process boundary and caches byte-identically.
+    """
+    system = make_system(config)
+    system.set_die_temperature(temp_c)
+    asp = instantiate_asp(workload[0], list(workload[1]))
+    result = system.reconfigure(region, asp, freq_mhz)
+    note_events(system.sim.events_processed)
+    return {
+        "label": f"{region}@{freq_mhz:g}MHz/{temp_c:g}C",
+        "region": region,
+        "freq_mhz": result.freq_mhz,
+        "requested_freq_mhz": freq_mhz,
+        "temp_c": temp_c,
+        "latency_us": result.latency_us,
+        "throughput_mb_s": result.throughput_mb_s,
+        "pdr_power_w": result.pdr_power_w,
+        "events": float(system.sim.events_processed),
+        "availability": 1.0 if result.succeeded else 0.0,
+        "succeeded": result.succeeded,
+        "phase_us": dict(result.phase_us),
+        "device_us": dict(result.device_us),
+        "critical_path": result.critical_path,
+        "metrics": system.metrics.to_dict(end_ns=system.sim.now),
+    }

@@ -82,6 +82,57 @@ class TelemetryBook:
             json.dump(self.merged_dict(experiments), handle, indent=indent)
             handle.write("\n")
 
+    def dump(
+        self,
+        path: str,
+        format: str = "json",
+        experiments: Optional[List[str]] = None,
+    ) -> None:
+        """Export the captured telemetry as ``json``/``openmetrics``/``chrome-trace``.
+
+        ``json`` is the legacy merged-registry document; ``openmetrics``
+        is the Prometheus text exposition of every registry;
+        ``chrome-trace`` is a Perfetto-loadable trace-event file built
+        from every captured tracer (spans + instants) and registry
+        (series/counter tracks).
+        """
+        from . import export as _export
+
+        if format == "json":
+            self.dump_json(path, experiments=experiments)
+        elif format == "openmetrics":
+            snapshots = [
+                (label, registry.to_dict())
+                for label, registry in self.registries
+            ]
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(_export.to_openmetrics(snapshots))
+        elif format == "chrome-trace":
+            snapshots = [
+                (label, registry.to_dict())
+                for label, registry in self.registries
+            ]
+            _export.dump_chrome_trace(path, self.tracers, snapshots)
+        else:
+            raise ValueError(f"unknown telemetry format {format!r}")
+
+    def flame_tables(self) -> List[str]:
+        """One rendered flame table per captured tracer with spans."""
+        from . import profile as _profile
+
+        out: List[str] = []
+        for label, tracer in self.tracers:
+            records = _profile.span_records(tracer)
+            if not records:
+                continue
+            stats = _profile.attribute_spans(records)
+            out.append(
+                _profile.format_flame_table(
+                    stats, title=f"sim-time profile — {label}"
+                )
+            )
+        return out
+
     def tail_traces(self, count: int) -> List[str]:
         """The last ``count`` trace lines of each captured tracer, rendered."""
         out: List[str] = []

@@ -34,6 +34,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NULL_METRIC",
+    "NullMetricsRegistry",
     "Probe",
     "Series",
 ]
@@ -116,24 +118,35 @@ class Gauge:
         """Adjust the level relative to its current value (0 if unset)."""
         self.set((self.value or 0.0) + delta)
 
-    def time_weighted_mean(self) -> Optional[float]:
-        """Integral of the level over the observation window, divided by it."""
+    def time_weighted_mean(self, end_ns: Optional[float] = None) -> Optional[float]:
+        """Integral of the level over the observation window, divided by it.
+
+        The final segment — a value set before the end of the window but
+        never updated again — integrates its last value through
+        ``end_ns`` (the current time when not given), so a gauge that
+        was last flushed long before sim end is still accounted
+        honestly.  An ``end_ns`` earlier than the last set (a detached
+        or rewound time source) clamps to the last set instead of
+        subtracting tail mass.
+        """
         if self.value is None:
             return None
-        now = self._now_fn()
-        window = now - self._first_ns
+        end = self._now_fn() if end_ns is None else end_ns
+        if end < self._last_ns:
+            end = self._last_ns
+        window = end - self._first_ns
         if window <= 0:
             return self.value
-        integral = self._integral + self.value * (now - self._last_ns)
+        integral = self._integral + self.value * (end - self._last_ns)
         return integral / window
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self, end_ns: Optional[float] = None) -> Dict[str, Any]:
         return {
             "type": self.kind,
             "value": self.value,
             "min": self.min,
             "max": self.max,
-            "time_weighted_mean": self.time_weighted_mean(),
+            "time_weighted_mean": self.time_weighted_mean(end_ns),
             "sets": self.sets,
         }
 
@@ -330,9 +343,21 @@ class MetricsRegistry:
         return len(self._metrics)
 
     # -- export ----------------------------------------------------------------
-    def to_dict(self) -> Dict[str, Dict[str, Any]]:
-        """Snapshot every metric as plain JSON-serialisable data."""
-        return {name: self._metrics[name].to_dict() for name in self.names()}
+    def to_dict(self, end_ns: Optional[float] = None) -> Dict[str, Dict[str, Any]]:
+        """Snapshot every metric as plain JSON-serialisable data.
+
+        ``end_ns`` closes every gauge's observation window at an
+        explicit timestamp (campaign points snapshot at episode end);
+        without it gauges read the registry's live time source.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Gauge):
+                out[name] = metric.to_dict(end_ns)
+            else:
+                out[name] = metric.to_dict()
+        return out
 
     def dump_json(self, path: str, indent: int = 2) -> None:
         with open(path, "w", encoding="utf-8") as handle:
@@ -348,3 +373,90 @@ class MetricsRegistry:
                     if field in ("samples",):
                         continue
                     handle.write(f"{name},{field},{value}\n")
+
+
+class _NullMetric:
+    """The compiled-out metric: every mutator is a no-op.
+
+    One shared instance stands in for every counter/gauge/histogram/
+    series/probe of a :class:`NullMetricsRegistry`, so instrumented hot
+    paths keep their unconditional ``metric.inc(...)`` calls and pay
+    only an attribute lookup plus an empty method call.  Readable
+    attributes exist (zeros / ``None``) so code that *inspects* metrics
+    (critical-path attribution, probes) still works unchanged.
+    """
+
+    kind = "null"
+
+    __slots__ = ()
+
+    name = "null"
+    value = 0.0
+    min = None
+    max = None
+    sets = 0
+    count = 0
+    sum = 0.0
+    samples: Tuple[Tuple[float, float], ...] = ()
+    dropped = 0
+    last = None
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def sample(self, value: float) -> None:
+        pass
+
+    def read(self) -> float:
+        return 0.0
+
+    @property
+    def mean(self) -> Optional[float]:
+        return None
+
+    def time_weighted_mean(self, end_ns: Optional[float] = None) -> Optional[float]:
+        return None
+
+    def percentile(self, p: float) -> Optional[float]:
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": self.kind}
+
+
+#: The shared no-op metric instance.
+NULL_METRIC = _NullMetric()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """A registry whose every metric is the shared no-op instance.
+
+    Instrumentation compiled out: components wire their probes exactly
+    as usual, but nothing is recorded and exports are empty.  This is
+    the ``PdrSystemConfig(telemetry=False)`` fast path the probe-overhead
+    benchmark measures against.
+    """
+
+    def counter(self, name: str) -> Counter:  # type: ignore[override]
+        return NULL_METRIC  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:  # type: ignore[override]
+        return NULL_METRIC  # type: ignore[return-value]
+
+    def histogram(self, name: str, reservoir_size: int = 4096) -> Histogram:  # type: ignore[override]
+        return NULL_METRIC  # type: ignore[return-value]
+
+    def series(self, name: str, limit: int = 10_000) -> Series:  # type: ignore[override]
+        return NULL_METRIC  # type: ignore[return-value]
+
+    def probe(self, name: str, fn: Callable[[], float]) -> Probe:  # type: ignore[override]
+        return NULL_METRIC  # type: ignore[return-value]

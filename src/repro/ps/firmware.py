@@ -36,6 +36,10 @@ class ZedboardTestApp:
         self._button_map: Dict[str, str] = {}
         self.booted = False
         self.loads_performed = 0
+        #: One entry per button-triggered load: which image went where and
+        #: which device bottlenecked the reconfiguration (the OLED only
+        #: shows the last result; campaign tooling reads this log).
+        self.load_log: List[Dict[str, object]] = []
 
     # -- provisioning (before power-on) -----------------------------------
     def provision_image(self, name: str, region: str, asp) -> None:
@@ -91,6 +95,17 @@ class ZedboardTestApp:
             bitstream=bitstream,
         )
         self.loads_performed += 1
+        self.load_log.append(
+            {
+                "image": name,
+                "region": result.region,
+                "freq_mhz": result.freq_mhz,
+                "latency_us": result.latency_us,
+                "succeeded": result.succeeded,
+                "critical_path": result.critical_path,
+                "device_us": dict(result.device_us),
+            }
+        )
         return result
 
     def image_names(self) -> List[str]:

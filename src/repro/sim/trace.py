@@ -94,15 +94,23 @@ class Tracer:
         contains: Optional[str] = None,
         kind: Optional[str] = None,
         since_ns: Optional[float] = None,
+        until_ns: Optional[float] = None,
     ) -> List[TraceRecord]:
         """Return retained records matching source/substring/kind/time bound.
 
-        ``since_ns`` is an inclusive lower bound on ``time_ns`` — the
-        usual "what happened after I armed the transfer" question.
+        ``since_ns`` is an **inclusive** lower bound on ``time_ns`` — a
+        record stamped exactly at the cutoff is returned, so "what
+        happened after I armed the transfer" includes events fired on
+        the arming instant itself.  ``until_ns`` is an **exclusive**
+        upper bound, making ``[since_ns, until_ns)`` windows compose
+        without double-counting boundary records.  Both bounds compose
+        with every other filter (``kind``, ``source``, ``contains``).
         """
         out = []
         for record in self.records:
             if since_ns is not None and record.time_ns < since_ns:
+                continue
+            if until_ns is not None and record.time_ns >= until_ns:
                 continue
             if source is not None and record.source != source:
                 continue

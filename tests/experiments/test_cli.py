@@ -86,6 +86,64 @@ def test_cli_trace_dump_prints_records():
     assert "last 5 of" in out
 
 
+def test_cli_metrics_out_openmetrics(tmp_path):
+    path = tmp_path / "metrics.om"
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = main(["table2", "--metrics-out", str(path), "--format", "openmetrics"])
+    assert code == 0
+    lines = path.read_text().rstrip().splitlines()
+    assert lines[-1] == "# EOF"
+    assert any(line.startswith("# TYPE repro_") for line in lines)
+
+
+def test_cli_metrics_out_chrome_trace_and_profile(tmp_path):
+    import json
+
+    path = tmp_path / "trace.json"
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = main(
+            ["table2", "--metrics-out", str(path), "--format", "chrome-trace",
+             "--profile"]
+        )
+    assert code == 0
+    doc = json.loads(path.read_text())
+    events = doc["traceEvents"]
+    begins = sum(1 for e in events if e["ph"] == "B")
+    ends = sum(1 for e in events if e["ph"] == "E")
+    assert begins == ends > 0
+    out = buffer.getvalue()
+    assert "sim-time profile" in out
+    assert "reconfigure" in out
+
+
+def test_cli_bench_requires_check():
+    buffer = io.StringIO()
+    with contextlib.redirect_stderr(buffer):
+        code = main(["bench"])
+    assert code == 2
+    assert "--check" in buffer.getvalue()
+
+
+def test_cli_report_subcommand_aggregates_campaign(tmp_path):
+    import json
+
+    path = tmp_path / "campaign.json"
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = main(["report", "--out", str(path)])
+    assert code == 0
+    out = buffer.getvalue()
+    assert "Campaign report" in out
+    assert "latency_us" in out and "Critical paths" in out
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == "repro.obs.campaign/v1"
+    assert doc["points"] >= 50
+    assert doc["results"]["latency_us"]["p99"] > 0
+    assert sum(doc["critical_paths"].values()) == doc["points"]
+
+
 def test_cli_report_includes_phase_breakdown():
     buffer = io.StringIO()
     with contextlib.redirect_stdout(buffer):

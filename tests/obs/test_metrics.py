@@ -4,7 +4,14 @@ import json
 
 import pytest
 
-from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRIC,
+    NullMetricsRegistry,
+)
 
 
 class FakeClock:
@@ -68,6 +75,65 @@ def test_gauge_unset_reports_none():
     gauge = Gauge("g", now_fn=lambda: 0.0)
     assert gauge.time_weighted_mean() is None
     assert gauge.to_dict()["value"] is None
+
+
+def test_gauge_final_segment_integrates_through_end_ns():
+    # The tail regression: a gauge set once early and never touched
+    # again must weight its final value over the whole remaining window,
+    # not just up to its last set.
+    clock = FakeClock()
+    gauge = Gauge("g", now_fn=clock)
+    gauge.set(0.0)           # t=0
+    clock.now = 100.0
+    gauge.set(10.0)          # 0 held for 100 ns, then 10 ... forever
+    # Snapshot at t=900: 0*100 + 10*800 over 900 ns.
+    assert gauge.time_weighted_mean(end_ns=900.0) == pytest.approx(8000.0 / 900.0)
+    # Without end_ns the live clock closes the window the same way.
+    clock.now = 900.0
+    assert gauge.time_weighted_mean() == pytest.approx(8000.0 / 900.0)
+    # to_dict threads the explicit window end through.
+    assert gauge.to_dict(end_ns=900.0)["time_weighted_mean"] == pytest.approx(
+        8000.0 / 900.0
+    )
+
+
+def test_gauge_end_before_last_set_clamps_not_subtracts():
+    # A rewound/detached clock must never subtract tail mass.
+    clock = FakeClock()
+    gauge = Gauge("g", now_fn=clock)
+    gauge.set(10.0)          # t=0
+    clock.now = 100.0
+    gauge.set(20.0)
+    assert gauge.time_weighted_mean(end_ns=50.0) == pytest.approx(10.0)
+
+
+def test_registry_to_dict_threads_end_ns_to_gauges_only():
+    clock = FakeClock()
+    registry = MetricsRegistry(now_fn=clock)
+    gauge = registry.gauge("fifo.level")
+    gauge.set(4.0)           # t=0, never set again
+    registry.counter("ops").inc(3)
+    data = registry.to_dict(end_ns=200.0)
+    assert data["fifo.level"]["time_weighted_mean"] == pytest.approx(4.0)
+    assert data["ops"]["value"] == 3
+
+
+# -- compiled-out registry -----------------------------------------------------
+
+def test_null_registry_returns_shared_noop_metric():
+    registry = NullMetricsRegistry(name="off")
+    counter = registry.counter("a.count")
+    gauge = registry.gauge("a.level")
+    assert counter is NULL_METRIC and gauge is NULL_METRIC
+    counter.inc(5)
+    gauge.set(3.0)
+    registry.histogram("a.lat").observe(1.0)
+    registry.series("a.temp").sample(40.0)
+    registry.probe("a.events", lambda: 99)
+    # Nothing was recorded, and readable attributes stay inert.
+    assert NULL_METRIC.value == 0.0
+    assert NULL_METRIC.time_weighted_mean() is None
+    assert NULL_METRIC.to_dict() == {"type": "null"}
 
 
 # -- histograms ----------------------------------------------------------------

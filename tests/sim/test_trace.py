@@ -72,6 +72,37 @@ def test_filter_by_kind_and_since_ns():
     assert [r.message for r in tracer.filter(kind="span", since_ns=200.0)] == ["c"]
 
 
+def test_filter_since_ns_boundary_is_inclusive_until_ns_exclusive():
+    tracer = Tracer()
+    tracer.emit(100.0, "fw", "before")
+    tracer.emit(200.0, "fw", "at-cutoff")
+    tracer.emit(300.0, "fw", "after")
+    # A record stamped exactly at since_ns is returned...
+    assert [r.message for r in tracer.filter(since_ns=200.0)] == [
+        "at-cutoff",
+        "after",
+    ]
+    # ...and one stamped exactly at until_ns is not, so adjacent
+    # [since, until) windows partition the trace without double-counting.
+    first = tracer.filter(since_ns=0.0, until_ns=200.0)
+    second = tracer.filter(since_ns=200.0, until_ns=400.0)
+    assert [r.message for r in first] == ["before"]
+    assert [r.message for r in second] == ["at-cutoff", "after"]
+    assert len(first) + len(second) == len(tracer)
+
+
+def test_filter_time_window_composes_with_kind_and_source():
+    tracer = Tracer()
+    tracer.emit(100.0, "fw", "a", kind="span")
+    tracer.emit(200.0, "dma", "b", kind="span")
+    tracer.emit(200.0, "fw", "c")
+    tracer.emit(300.0, "fw", "d", kind="span")
+    got = tracer.filter(kind="span", source="fw", since_ns=200.0, until_ns=300.0)
+    assert got == []
+    got = tracer.filter(kind="span", source="fw", since_ns=200.0)
+    assert [r.message for r in got] == ["d"]
+
+
 def test_lazy_message_skipped_when_disabled():
     calls = []
 
