@@ -13,7 +13,7 @@ from .compress import (
     compression_ratio,
     decompress_words,
 )
-from .crc import ConfigCrc, crc32c_bytes, crc32c_words
+from .crc import ConfigCrc, crc32c_bytes, crc32c_packed, crc32c_words
 from .device import (
     FRAME_BYTES,
     FRAME_WORDS,
@@ -78,6 +78,7 @@ __all__ = [
     "compress_words",
     "compression_ratio",
     "crc32c_bytes",
+    "crc32c_packed",
     "crc32c_words",
     "decode_header",
     "decompress_words",

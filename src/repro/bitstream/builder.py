@@ -53,9 +53,19 @@ class Bitstream:
     def size_bytes(self) -> int:
         return len(self.words) * 4
 
+    def __post_init__(self) -> None:
+        self._packed_be: Optional[bytes] = None
+
     def to_bytes(self) -> bytes:
-        """Serialise big-endian per word (configuration stream order)."""
-        return struct.pack(f">{len(self.words)}I", *self.words)
+        """Serialise big-endian per word (configuration stream order).
+
+        Memoised on the instance: built bitstreams are immutable in
+        practice (mutations go through :meth:`corrupted`, which copies),
+        and campaigns re-stage the same stream into DRAM for every case.
+        """
+        if self._packed_be is None:
+            self._packed_be = struct.pack(f">{len(self.words)}I", *self.words)
+        return self._packed_be
 
     @classmethod
     def from_bytes(
@@ -177,9 +187,10 @@ class BitstreamBuilder:
     def build_partial(
         self,
         region_name: str,
-        frame_data: Sequence[Sequence[int]],
+        frame_data: Optional[Sequence[Sequence[int]]] = None,
         pad_to_bytes: Optional[int] = None,
         description: str = "",
+        frame_data_packed: Optional[bytes] = None,
     ) -> Bitstream:
         """Build a partial bitstream writing ``frame_data`` into a region.
 
@@ -194,18 +205,37 @@ class BitstreamBuilder:
             If given, append NOOP words after DESYNC until the stream is
             exactly this many bytes (must be word-aligned and not smaller
             than the unpadded stream).
+        frame_data_packed:
+            Alternative to ``frame_data``: the same frame content as one
+            packed little-endian byte string (``FRAME_WORDS`` words per
+            frame, auto-increment order) — the form the slab config
+            memory and the ASP encoder cache already hold, skipping the
+            per-word flatten/pack on the hot build path.
         """
-        frames = self.layout.region_frames(region_name)
-        if len(frame_data) != len(frames):
+        first_index, region_frame_count = self.layout.region_span(region_name)
+        first_far = self.layout.frame_address(first_index)
+        if (frame_data is None) == (frame_data_packed is None):
             raise ValueError(
-                f"region {region_name} has {len(frames)} frames, "
-                f"got {len(frame_data)} frames of data"
+                "exactly one of frame_data / frame_data_packed is required"
             )
-        for i, frame in enumerate(frame_data):
-            if len(frame) != FRAME_WORDS:
+        if frame_data_packed is not None:
+            expected = region_frame_count * FRAME_WORDS * 4
+            if len(frame_data_packed) != expected:
                 raise ValueError(
-                    f"frame {i} has {len(frame)} words, expected {FRAME_WORDS}"
+                    f"region {region_name} needs {expected} packed bytes, "
+                    f"got {len(frame_data_packed)}"
                 )
+        else:
+            if len(frame_data) != region_frame_count:
+                raise ValueError(
+                    f"region {region_name} has {region_frame_count} frames, "
+                    f"got {len(frame_data)} frames of data"
+                )
+            for i, frame in enumerate(frame_data):
+                if len(frame) != FRAME_WORDS:
+                    raise ValueError(
+                        f"frame {i} has {len(frame)} words, expected {FRAME_WORDS}"
+                    )
 
         crc = ConfigCrc()
         words: List[int] = []
@@ -236,21 +266,29 @@ class BitstreamBuilder:
         write_reg(ConfigRegister.IDCODE, self.layout.idcode)
         write_reg(ConfigRegister.CMD, int(Command.WCFG))
         emit(NOOP_WORD)
-        write_reg(ConfigRegister.FAR, frames[0].encode())
+        write_reg(ConfigRegister.FAR, first_far.encode())
         emit(NOOP_WORD)
 
         # ---- frame data: type1 FDRI (count 0) + type2 with all frames ----
-        data_words: List[int] = []
-        for frame in frame_data:
-            data_words.extend(frame)
         # One pad frame flushes the device's frame buffer.
-        data_words.extend([0] * FRAME_WORDS)
+        if frame_data_packed is not None:
+            packed_le = frame_data_packed + bytes(FRAME_WORDS * 4)
+            data_words = list(struct.unpack(f"<{len(packed_le) // 4}I", packed_le))
+        else:
+            data_words = []
+            for frame in frame_data:
+                data_words.extend(frame)
+            data_words.extend([0] * FRAME_WORDS)
+            try:
+                packed_le = struct.pack(f"<{len(data_words)}I", *data_words)
+            except struct.error:
+                data_words = [w & 0xFFFFFFFF for w in data_words]
+                packed_le = struct.pack(f"<{len(data_words)}I", *data_words)
 
         emit(type1(OP_WRITE, int(ConfigRegister.FDRI), 0))
         emit(type2(OP_WRITE, len(data_words)))
-        data_words = [w & 0xFFFFFFFF for w in data_words]
         words.extend(data_words)
-        crc.update_run(int(ConfigRegister.FDRI), data_words)
+        crc.update_run(int(ConfigRegister.FDRI), data_words, packed=packed_le)
 
         # ---- trailer: CRC check, last frame, desync -----------------------
         expected_crc = crc.value
@@ -279,11 +317,11 @@ class BitstreamBuilder:
         return Bitstream(
             words=words,
             region_name=region_name,
-            frame_count=len(frames),
+            frame_count=region_frame_count,
             description=description or f"partial for {region_name}",
             meta={
                 "expected_crc": expected_crc,
-                "first_far": frames[0].encode(),
+                "first_far": first_far.encode(),
                 "data_words": len(data_words),
             },
         )

@@ -105,6 +105,8 @@ class DeviceLayout:
         for minors in self._column_minors:
             self._col_base.append(base)
             base += minors
+        self._region_frames_cache: Dict[str, List[FrameAddress]] = {}
+        self._region_span_cache: Dict[str, Tuple[int, int]] = {}
 
     # -- geometry ----------------------------------------------------------
     @property
@@ -172,7 +174,15 @@ class DeviceLayout:
         return self.regions[name]
 
     def region_frames(self, name: str) -> List[FrameAddress]:
-        """All frame addresses of a region, in FDRI auto-increment order."""
+        """All frame addresses of a region, in FDRI auto-increment order.
+
+        Memoised (the layout is immutable after construction and every
+        system construction walks each region); treat the result as
+        read-only.
+        """
+        frames = self._region_frames_cache.get(name)
+        if frames is not None:
+            return frames
         spec = self.region(name)
         top, row = divmod(spec.row, self.rows)
         frames = []
@@ -181,7 +191,35 @@ class DeviceLayout:
                 frames.append(
                     FrameAddress(top=top, row=row, column=column, minor=minor)
                 )
+        self._region_frames_cache[name] = frames
         return frames
+
+    def region_span(self, name: str) -> Tuple[int, int]:
+        """``(first_frame_index, frame_count)`` of a region.
+
+        Region frames are contiguous in flat index order (one clock row,
+        a contiguous column span), which the byte-slab configuration
+        memory paths exploit.
+        """
+        span = self._region_span_cache.get(name)
+        if span is None:
+            # Computed straight from the geometry — contiguity holds by
+            # construction (one clock row, contiguous columns, cumulative
+            # column bases), so no FrameAddress list needs building.
+            spec = self.region(name)
+            top, row = divmod(spec.row, self.rows)
+            first = (
+                top * self.rows * self.frames_per_row
+                + row * self.frames_per_row
+                + self._col_base[spec.col_start]
+            )
+            count = sum(
+                self._column_minors[c]
+                for c in range(spec.col_start, spec.col_end + 1)
+            )
+            span = (first, count)
+            self._region_span_cache[name] = span
+        return span
 
     def region_frame_count(self, name: str) -> int:
         spec = self.region(name)
@@ -196,6 +234,9 @@ class DeviceLayout:
         return iter(sorted(self.regions.items()))
 
 
+_Z7020_LAYOUT: DeviceLayout = None
+
+
 def make_z7020_layout() -> DeviceLayout:
     """The reference floorplan used throughout the reproduction.
 
@@ -203,7 +244,14 @@ def make_z7020_layout() -> DeviceLayout:
     row tall and 36 mostly-CLB columns wide, giving 1 296+ frames
     (~0.5 MB of frame data) per partition — matching the partial-bitstream
     size implied by Table I of the paper (see DESIGN.md §2).
+
+    Returns a shared immutable singleton: the layout is pure geometry and
+    every system construction needs one, so building it per system would
+    dominate cold-start time.
     """
+    global _Z7020_LAYOUT
+    if _Z7020_LAYOUT is not None:
+        return _Z7020_LAYOUT
     # A representative column mix: mostly CLB with sprinkled BRAM/DSP, IOB
     # flanks, and a central clock column.
     columns: List[str] = []
@@ -229,4 +277,5 @@ def make_z7020_layout() -> DeviceLayout:
         "RP3": RegionSpec("RP3", row=2, col_start=41, col_end=78),
         "RP4": RegionSpec("RP4", row=3, col_start=41, col_end=78),
     }
-    return DeviceLayout(rows=2, columns=columns, regions=regions)
+    _Z7020_LAYOUT = DeviceLayout(rows=2, columns=columns, regions=regions)
+    return _Z7020_LAYOUT

@@ -23,7 +23,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..axi import AxiHpPort, AxiInterconnect, AxiStream
-from ..bitstream import Bitstream, BitstreamBuilder, crc32c_words, make_z7020_layout
+from ..bitstream import Bitstream, BitstreamBuilder, crc32c_packed, make_z7020_layout
+from ..bitstream.device import FRAME_BYTES
 from ..board import OledDisplay, PushButtons, SdCard, SwitchBank
 from ..clocking import ClockWizard
 from ..crccheck import CrcScrubber
@@ -39,7 +40,7 @@ from ..dma import (
     MM2S_SA,
 )
 from ..dram import DramController, DramDevice
-from ..fabric import Asp, ConfigMemory, RpRegion, encode_asp_frames
+from ..fabric import Asp, ConfigMemory, RpRegion, encode_asp_packed
 from ..icap import IcapController
 from ..obs import TELEMETRY_BOOK, MetricsRegistry, NullMetricsRegistry, SpanRecorder
 from ..obs.profile import attribute_devices, critical_path as _critical_path
@@ -243,6 +244,42 @@ class PdrSystem:
             TELEMETRY_BOOK.register(metrics, "pdr_system")
             TELEMETRY_BOOK.register_tracer(self.trace, "pdr_system")
 
+    # ---------------------------------------------------------------- snapshots --
+    @classmethod
+    def fork(
+        cls,
+        snapshot,
+        timing_model: Optional[TimingModel] = None,
+        power_params: Optional[PowerModelParams] = None,
+    ) -> "PdrSystem":
+        """Rebuild a live system from a :class:`~repro.snapshot.SystemSnapshot`.
+
+        The constructor still wires the device graph (simulator,
+        processes and metrics are live objects), but the fork inherits
+        the snapshot's provisioning state — fabric frames, staged DRAM
+        content, the instance bitstream cache and golden CRCs — so no
+        layout decode, bitstream build or re-staging happens.  Timed
+        behaviour is byte-identical to a fresh-built system because
+        snapshots only ever capture untimed state.
+        """
+        from ..snapshot.state import SystemSnapshot
+
+        if not isinstance(snapshot, SystemSnapshot):
+            raise TypeError("fork() needs a SystemSnapshot")
+        system = cls(
+            config=PdrSystemConfig(**snapshot.config_mapping()),
+            timing_model=timing_model,
+            power_params=power_params,
+        )
+        snapshot.restore_into(system)
+        return system
+
+    def snapshot(self):
+        """Capture this system's provisioning state (untimed systems only)."""
+        from ..snapshot.state import SystemSnapshot
+
+        return SystemSnapshot.capture(self)
+
     # ------------------------------------------------------------------ bench --
     def set_die_temperature(self, temp_c: float) -> None:
         """Pin the die temperature (the paper's stabilised heat-gun steps).
@@ -277,6 +314,13 @@ class PdrSystem:
         )
         cached = self._bitstream_cache.get(cache_key)
         if cached is not None:
+            # Promote in the shared LRU too: a system whose instance cache
+            # keeps answering must not let the shared entry age to the
+            # cold end and evict while it is the hottest build in the
+            # process (promote-on-hit previously only ran on the
+            # shared-lookup path).
+            if cache_key in PdrSystem._BUILD_CACHE:
+                PdrSystem._BUILD_CACHE.move_to_end(cache_key)
             return cached
         shared = PdrSystem._BUILD_CACHE.get(cache_key)
         if shared is not None:
@@ -285,20 +329,26 @@ class PdrSystem:
             # system survives a later LRU eviction.
             self._bitstream_cache[cache_key] = shared
             return shared
-        frames = encode_asp_frames(self.layout.region_frame_count(region), asp)
+        frame_count = self.layout.region_frame_count(region)
+        packed_frames = encode_asp_packed(frame_count, asp)
         bitstream = self.builder.build_partial(
             region,
-            frames,
             pad_to_bytes=self.config.pad_bitstreams_to,
             description=description or f"{asp.name} for {region}",
+            frame_data_packed=packed_frames,
         )
         # Golden CRC of the region content after a correct load, used by
-        # the read-back scrubber.
-        bitstream.meta["region_crc"] = crc32c_words(
-            w for frame in frames for w in frame
+        # the read-back scrubber.  Folded over the same 32-frame chunks
+        # the scrubber's batched read-back produces, so the fold here
+        # pre-warms the content cache the scrub pass will hit.
+        chunk_bytes = 32 * FRAME_BYTES
+        bitstream.meta["region_crc"] = crc32c_packed(
+            packed_frames[offset : offset + chunk_bytes]
+            for offset in range(0, len(packed_frames), chunk_bytes)
         )
         self._bitstream_cache[cache_key] = bitstream
         PdrSystem._BUILD_CACHE[cache_key] = bitstream
+        PdrSystem._BUILD_CACHE.move_to_end(cache_key)
         while len(PdrSystem._BUILD_CACHE) > PdrSystem._BUILD_CACHE_MAX:
             PdrSystem._BUILD_CACHE.popitem(last=False)
         return bitstream
@@ -614,6 +664,9 @@ class PdrSystem:
             interrupt_seen=interrupt_seen,
             crc_valid=crc_valid,
             latency_us=latency_us,
+            latency_unavailable_reason=(
+                None if interrupt_seen else "no completion interrupt"
+            ),
             pdr_power_w=pdr_power,
             board_power_w=board_power,
             failure_modes=failure_modes,

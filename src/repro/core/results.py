@@ -44,6 +44,10 @@ class ReconfigResult:
     interrupt_seen: bool
     crc_valid: bool
     latency_us: Optional[float] = None  #: None when no completion interrupt
+    #: Why ``latency_us`` is ``None`` (e.g. ``"no completion interrupt"``):
+    #: the C-timer window never closed, so there is no number to report —
+    #: a reason, not a zero.  ``None`` whenever ``latency_us`` is set.
+    latency_unavailable_reason: Optional[str] = None
     pdr_power_w: float = 0.0
     board_power_w: float = 0.0
     failure_modes: List[str] = field(default_factory=list)

@@ -19,8 +19,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from ..bitstream.crc import crc32c_words
-from ..bitstream.device import FRAME_WORDS
+from ..bitstream.crc import crc32c_packed
+from ..bitstream.device import FRAME_BYTES, FRAME_WORDS
 from ..fabric.config_memory import ConfigMemory
 from ..icap.primitive import ConfigPort
 from ..obs import MetricsRegistry
@@ -135,12 +135,12 @@ class CrcScrubber:
         # ICAP being idle.  Frames are read in batches to bound the DES
         # event count; each batch costs read-back cycles at this clock.
         layout = self.memory.layout
-        first_index = layout.frame_index(layout.region_frames(region)[0])
-        frame_count = layout.region_frame_count(region)
+        first_index, frame_count = layout.region_span(region)
         pass_started_ns = self.sim.now
         batch = 32
         read = 0
-        words = []
+        words_read = 0
+        chunks = []
         while read < frame_count:
             if self.busy_gate is not None and self.busy_gate.value:
                 yield self.busy_gate.wait_for(False)
@@ -148,10 +148,11 @@ class CrcScrubber:
             yield self.clock.wait_cycles(
                 chunk * (FRAME_WORDS + self.FRAME_OVERHEAD_CYCLES)
             )
-            raw = self.readback.read_frames(first_index + read, chunk)
-            words.extend(self.readback.strip_readback_pad(raw))
+            raw = self.readback.read_frames_packed(first_index + read, chunk)
+            chunks.append(raw[FRAME_BYTES:])  # strip the FDRO pad frame
+            words_read += chunk * FRAME_WORDS
             read += chunk
-        computed = crc32c_words(words)
+        computed = crc32c_packed(chunks)
         result = ScrubResult(
             region=region,
             computed=computed,
@@ -161,7 +162,7 @@ class CrcScrubber:
         self.last_result = result
         self.passes_completed += 1
         self._m_passes.inc()
-        self._m_words.inc(len(words))
+        self._m_words.inc(words_read)
         self._m_pass_us.observe((self.sim.now - pass_started_ns) / 1e3)
         if not result.ok:
             self.errors_detected += 1

@@ -99,6 +99,31 @@ class DramDevice:
             offset += chunk
         return bytes(out)
 
+    # -- snapshot support ----------------------------------------------------
+    def capture_state(self):
+        """Plain-data device state for :mod:`repro.snapshot`.
+
+        Bank/row state and the hit/miss counters are part of the state:
+        a forked system must replay the same row-hit sequence (and hence
+        the same access latencies) as the system it was captured from.
+        """
+        return (
+            tuple(sorted(
+                (index, bytes(page)) for index, page in self._pages.items()
+            )),
+            tuple(sorted(self._open_rows.items())),
+            self.row_hits,
+            self.row_misses,
+        )
+
+    def restore_state(self, state) -> None:
+        """Restore a :meth:`capture_state` result."""
+        pages, open_rows, hits, misses = state
+        self._pages = {index: bytearray(page) for index, page in pages}
+        self._open_rows = dict(open_rows)
+        self.row_hits = hits
+        self.row_misses = misses
+
     # -- internals ----------------------------------------------------------
     def _bounds(self, addr: int, size: int) -> None:
         if addr < 0 or size < 0 or addr + size > self.size_bytes:

@@ -33,6 +33,7 @@ __all__ = [
     "DEFAULT_TOLERANCE",
     "load_baseline",
     "probe_chaos",
+    "probe_milestone",
     "probe_sweeps",
     "run_check",
 ]
@@ -99,6 +100,42 @@ def load_baseline(suite: str, baseline_dir: Optional[str] = None) -> Dict[str, A
 # ---------------------------------------------------------------------------
 # Fresh probes
 # ---------------------------------------------------------------------------
+
+
+def probe_milestone() -> Dict[str, float]:
+    """Single-point timings for the milestone perf floors.
+
+    Must run **before** any other probe in the process so the cold
+    number is honest: ``cold_single_point_s`` is the very first
+    ``reconfigure_point`` this interpreter executes (empty build/CRC
+    caches, no snapshot templates), ``warm_single_point_s`` the best of
+    three immediately after (steady-state campaign cost).
+    """
+    import time as _time
+
+    from .points import asp_descriptor, reconfigure_point
+    from .table1 import WORKLOAD_ASP
+
+    workload = asp_descriptor(WORKLOAD_ASP)
+    t0 = _time.perf_counter()
+    reconfigure_point("RP1", 200.0, 25.0, workload)
+    cold_s = _time.perf_counter() - t0
+    warm_s = None
+    events = None
+    for _ in range(3):
+        t0 = _time.perf_counter()
+        reconfigure_point("RP1", 200.0, 25.0, workload)
+        elapsed = _time.perf_counter() - t0
+        if warm_s is None or elapsed < warm_s:
+            warm_s = elapsed
+    from ..exec import runner as _runner
+
+    events = _runner._POINT_EVENTS  # noted by reconfigure_point
+    return {
+        "cold_single_point_s": cold_s,
+        "warm_single_point_s": warm_s,
+        "warm_events_per_s": (events or 0) / warm_s if warm_s else 0.0,
+    }
 
 
 def probe_sweeps(frequencies_mhz: Sequence[float]) -> Dict[str, Any]:
@@ -174,10 +211,22 @@ def _check(
     worse: str = "higher",
     advisory: bool = False,
     inject_scale: float = 1.0,
+    skipped: Optional[List[str]] = None,
 ) -> None:
-    """Append one comparison when both sides exist (else skip silently —
-    older baselines may predate a metric)."""
+    """Append one comparison when both sides exist.
+
+    A one-sided metric (older baseline predating it, or a measurement
+    that legitimately has no value — e.g. the 320 MHz point's null
+    latency) is recorded in ``skipped`` so the report says *which*
+    comparisons never ran instead of silently thinning out.
+    """
     if baseline is None or fresh is None:
+        if skipped is not None:
+            if baseline is None and fresh is None:
+                side = "either side"
+            else:
+                side = "baseline" if baseline is None else "fresh probe"
+            skipped.append(f"{suite}.{metric} (no value on {side})")
         return
     checks.append(
         Check(
@@ -198,6 +247,7 @@ def _compare_sweeps(
     tolerance: float,
     wall_tolerance: Optional[float],
     inject_scale: float,
+    skipped: Optional[List[str]] = None,
 ) -> List[Check]:
     checks: List[Check] = []
     serial = baseline.get("runs", {}).get("serial", {})
@@ -210,18 +260,52 @@ def _compare_sweeps(
             checks, "sweeps", f"{label}.events",
             base_point.get("events"), fresh_point.get("events"),
             tolerance, worse="higher", inject_scale=inject_scale,
+            skipped=skipped,
         )
         _check(
             checks, "sweeps", f"{label}.latency_us",
             base_point.get("latency_us"), fresh_point.get("latency_us"),
             tolerance, worse="higher", inject_scale=inject_scale,
+            skipped=skipped,
         )
     _check(
         checks, "sweeps", "wall_s",
         serial.get("wall_s"), fresh.get("wall_s"),
         wall_tolerance if wall_tolerance is not None else tolerance,
         worse="higher", advisory=wall_tolerance is None,
-        inject_scale=inject_scale,
+        inject_scale=inject_scale, skipped=skipped,
+    )
+    return checks
+
+
+def _compare_milestone(
+    baseline: Mapping[str, Any],
+    fresh: Mapping[str, float],
+    inject_scale: float,
+    skipped: Optional[List[str]] = None,
+) -> List[Check]:
+    """Gate the latest milestone's perf floors (when it declares any).
+
+    Unlike the baseline-vs-fresh diffs, these compare against *absolute*
+    floors committed with the milestone (``gate`` mapping), so the gate
+    keeps enforcing the tentpole's targets even as the measured baseline
+    drifts.  Wall-clock floors carry their own slack in the committed
+    value; the tolerance here only absorbs CI jitter.
+    """
+    milestones = baseline.get("milestones") or []
+    gate = (milestones[-1] if milestones else {}).get("gate") or {}
+    checks: List[Check] = []
+    _check(
+        checks, "milestone", "cold_single_point_s",
+        gate.get("cold_single_point_s_max"), fresh.get("cold_single_point_s"),
+        tolerance=0.10, worse="higher", inject_scale=inject_scale,
+        skipped=skipped,
+    )
+    _check(
+        checks, "milestone", "warm_events_per_s",
+        gate.get("warm_events_per_s_min"), fresh.get("warm_events_per_s"),
+        tolerance=0.10, worse="lower", inject_scale=inject_scale,
+        skipped=skipped,
     )
     return checks
 
@@ -232,6 +316,7 @@ def _compare_chaos(
     tolerance: float,
     wall_tolerance: Optional[float],
     inject_scale: float,
+    skipped: Optional[List[str]] = None,
 ) -> List[Check]:
     checks: List[Check] = []
     availability = baseline.get("availability", {})
@@ -250,13 +335,14 @@ def _compare_chaos(
         _check(
             checks, "chaos", metric, base_value, fresh.get(metric),
             tolerance, worse=worse, inject_scale=inject_scale,
+            skipped=skipped,
         )
     _check(
         checks, "chaos", "wall_s",
         baseline.get("soak_wall_s"), fresh.get("wall_s"),
         wall_tolerance if wall_tolerance is not None else tolerance,
         worse="higher", advisory=wall_tolerance is None,
-        inject_scale=inject_scale,
+        inject_scale=inject_scale, skipped=skipped,
     )
     return checks
 
@@ -275,6 +361,7 @@ def run_check(
     """
     lines: List[str] = []
     checks: List[Check] = []
+    skipped: List[str] = []
     for suite in suites:
         try:
             baseline = load_baseline(suite, baseline_dir)
@@ -282,12 +369,21 @@ def run_check(
             lines.append(f"{suite}: baseline unreadable ({exc})")
             return 2, lines
         if suite == "sweeps":
+            # Milestone floors probe first: its cold measurement is only
+            # honest while this process has never run a point.  Baselines
+            # whose latest milestone declares no gate skip the probe.
+            milestones = baseline.get("milestones") or []
+            if (milestones[-1] if milestones else {}).get("gate"):
+                checks += _compare_milestone(
+                    baseline, probe_milestone(), inject_scale, skipped=skipped
+                )
             freqs = baseline.get("sweep", {}).get(
                 "frequencies_mhz", [100.0, 200.0, 320.0]
             )
             fresh = probe_sweeps(freqs)
             checks += _compare_sweeps(
-                baseline, fresh, tolerance, wall_tolerance, inject_scale
+                baseline, fresh, tolerance, wall_tolerance, inject_scale,
+                skipped=skipped,
             )
         elif suite == "chaos":
             campaign = baseline.get("campaign", {})
@@ -295,7 +391,8 @@ def run_check(
                 int(campaign.get("seed", 1)), int(campaign.get("cases", 3))
             )
             checks += _compare_chaos(
-                baseline, fresh, tolerance, wall_tolerance, inject_scale
+                baseline, fresh, tolerance, wall_tolerance, inject_scale,
+                skipped=skipped,
             )
         else:
             lines.append(f"{suite}: unknown suite")
@@ -303,9 +400,11 @@ def run_check(
 
     regressions = [check for check in checks if check.regressed]
     lines += [check.render() for check in checks]
+    for entry in skipped:
+        lines.append(f"skipped: {entry}")
     lines.append(
         f"bench --check: {len(checks)} comparison(s), "
-        f"{len(regressions)} regression(s)"
+        f"{len(regressions)} regression(s), {len(skipped)} skipped"
         + (f" [inject-scale {inject_scale:g}]" if inject_scale != 1.0 else "")
     )
     return (1 if regressions else 0), lines

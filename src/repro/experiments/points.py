@@ -20,11 +20,18 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from ..core import PdrSystem, PdrSystemConfig, ReconfigResult
+from ..core import PdrSystem, ReconfigResult
 from ..exec import note_events
 from ..fabric import Asp, instantiate_asp
+from ..snapshot import fork_point_system, fork_system
 
-__all__ = ["asp_descriptor", "campaign_point", "make_system", "reconfigure_point"]
+__all__ = [
+    "asp_descriptor",
+    "campaign_point",
+    "make_point_system",
+    "make_system",
+    "reconfigure_point",
+]
 
 
 def asp_descriptor(asp: Asp) -> Tuple[int, Tuple[int, ...]]:
@@ -37,10 +44,26 @@ def asp_descriptor(asp: Asp) -> Tuple[int, Tuple[int, ...]]:
 
 
 def make_system(config=None) -> PdrSystem:
-    """A fresh system from a plain-data config mapping (or ``None``)."""
-    if config:
-        return PdrSystem(config=PdrSystemConfig(**dict(config)))
-    return PdrSystem()
+    """A live system from a plain-data config mapping (or ``None``).
+
+    Forks a per-config template snapshot when snapshots are enabled
+    (byte-identical to a fresh build; see :mod:`repro.snapshot`), else
+    constructs fresh.
+    """
+    return fork_system(config)
+
+
+def make_point_system(
+    region: str, workload: Tuple[int, Tuple[int, ...]], config=None
+) -> PdrSystem:
+    """A live system with ``workload``'s bitstream pre-staged for ``region``.
+
+    The sweep-point fast path: the template built and staged the
+    bitstream once (untimed provisioning), so every point forked from it
+    starts at the timed reconfiguration with warm caches.  Falls back to
+    a fresh build when ``REPRO_SNAPSHOTS`` disables snapshots.
+    """
+    return fork_point_system(region, workload, config)
 
 
 def reconfigure_point(
@@ -56,7 +79,7 @@ def reconfigure_point(
     stress matrix; ``workload`` is an :func:`asp_descriptor` tuple and
     ``config`` an optional mapping of ``PdrSystemConfig`` overrides.
     """
-    system = make_system(config)
+    system = make_point_system(region, workload, config)
     system.set_die_temperature(temp_c)
     asp = instantiate_asp(workload[0], list(workload[1]))
     result = system.reconfigure(region, asp, freq_mhz)
@@ -80,7 +103,7 @@ def campaign_point(
     their tail segment).  Plain data end to end — it crosses the
     ``--jobs N`` process boundary and caches byte-identically.
     """
-    system = make_system(config)
+    system = make_point_system(region, workload, config)
     system.set_die_temperature(temp_c)
     asp = instantiate_asp(workload[0], list(workload[1]))
     result = system.reconfigure(region, asp, freq_mhz)
@@ -92,6 +115,7 @@ def campaign_point(
         "requested_freq_mhz": freq_mhz,
         "temp_c": temp_c,
         "latency_us": result.latency_us,
+        "latency_unavailable_reason": result.latency_unavailable_reason,
         "throughput_mb_s": result.throughput_mb_s,
         "pdr_power_w": result.pdr_power_w,
         "events": float(system.sim.events_processed),

@@ -20,6 +20,7 @@ from .asp import (
     VectorScaleAsp,
     decode_asp,
     encode_asp_frames,
+    encode_asp_packed,
     instantiate_asp,
 )
 from .config_memory import ConfigMemory
@@ -43,6 +44,7 @@ __all__ = [
     "VectorScaleAsp",
     "decode_asp",
     "encode_asp_frames",
+    "encode_asp_packed",
     "golden_region_crcs",
     "instantiate_asp",
     "region_crc",

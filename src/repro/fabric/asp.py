@@ -26,6 +26,9 @@ different (and realistically compressible) bitstreams.
 
 from __future__ import annotations
 
+import itertools
+import struct
+
 from typing import List, Optional, Sequence, Tuple
 
 from ..bitstream.crc import crc32c_words
@@ -41,6 +44,7 @@ __all__ = [
     "MatMulAsp",
     "Crc32Asp",
     "encode_asp_frames",
+    "encode_asp_packed",
     "decode_asp",
     "instantiate_asp",
     "AspDecodeError",
@@ -262,6 +266,116 @@ def _xorshift32(state: int) -> int:
     return state & _MASK32
 
 
+try:  # optional: vectorised fill when numpy is present (bit-identical)
+    import numpy as _np
+except ImportError:  # pragma: no cover - depends on environment
+    _np = None
+
+
+# -- GF(2) linear-operator helpers for the vectorised fill -------------------
+# xorshift32 is linear over GF(2), so k steps compose into one 32x32 bit
+# matrix, carried here as 32 basis images and applied via 4 x 256 lookup
+# tables (the same representation the CRC fast path uses).
+def _lin_tables(imgs: List[int]) -> List[List[int]]:
+    tables = []
+    for part in range(4):
+        base = imgs[8 * part : 8 * part + 8]
+        tab = [0] * 256
+        for v in range(1, 256):
+            lsb = v & -v
+            tab[v] = tab[v ^ lsb] ^ base[lsb.bit_length() - 1]
+        tables.append(tab)
+    return tables
+
+
+def _lin_apply(tabs: List[List[int]], x: int) -> int:
+    return (
+        tabs[0][x & 0xFF]
+        ^ tabs[1][(x >> 8) & 0xFF]
+        ^ tabs[2][(x >> 16) & 0xFF]
+        ^ tabs[3][x >> 24]
+    )
+
+
+def _lin_compose(a_imgs: List[int], b_imgs: List[int]) -> List[int]:
+    ta = _lin_tables(a_imgs)
+    return [_lin_apply(ta, x) for x in b_imgs]
+
+
+_XS_JUMP_CACHE: dict = {}
+
+
+def _xorshift_jump_tables(steps: int) -> List[List[int]]:
+    """Lookup tables advancing a xorshift32 state by ``steps`` steps."""
+    cached = _XS_JUMP_CACHE.get(steps)
+    if cached is not None:
+        return cached
+    imgs = [1 << b for b in range(32)]  # identity
+    sq = [_xorshift32(1 << b) for b in range(32)]
+    exp = steps
+    while exp:
+        if exp & 1:
+            imgs = _lin_compose(sq, imgs)
+        exp >>= 1
+        if exp:
+            sq = _lin_compose(sq, sq)
+    tables = _lin_tables(imgs)
+    _XS_JUMP_CACHE[steps] = tables
+    return tables
+
+
+def _fill_words_numpy(header: List[int], words_total: int, seed: int) -> List[int]:
+    """Vectorised equivalent of the scalar fill loop in encode_asp_frames.
+
+    The walk consumes one xorshift state per word, plus one more for every
+    written word (states divisible by 4 trigger a second advance whose
+    result is stored).  The orbit itself is generated as 2048 parallel
+    streams — seeded via a jump operator, advanced in lock-step — and the
+    data-dependent consume-1-or-2 pattern is resolved without a scalar
+    loop: within each run of trigger-eligible states, inspections
+    alternate, so run-start indices plus parity give the inspected set.
+    """
+    n = words_total - len(header)
+    m = 2 * n + 64  # worst case: every word triggers the second advance
+    streams = 2048
+    length = -(-m // streams)
+    jump = _xorshift_jump_tables(length)
+    starts = [0] * streams
+    state = seed
+    for j in range(streams):
+        starts[j] = state
+        state = _lin_apply(jump, state)
+    orbit = _np.empty((length, streams), dtype=_np.uint32)
+    orbit[0] = starts
+    for t in range(1, length):
+        x = orbit[t - 1]
+        y = x ^ (x << 13)
+        y ^= y >> 17
+        y ^= y << 5
+        orbit[t] = y
+    flat = orbit.T.reshape(-1)[:m]
+
+    walk = flat[1:]  # flat[0] is the seed; the first word inspects f(seed)
+    mask = (walk & 3) == 0
+    idx = _np.arange(walk.size)
+    run_start = mask.copy()
+    run_start[1:] &= ~mask[:-1]
+    rs = _np.where(run_start, idx, 0)
+    _np.maximum.accumulate(rs, out=rs)
+    triggers = mask & (((idx - rs) & 1) == 0)  # inspected & divisible by 4
+    prev_trigger = _np.empty_like(mask)
+    prev_trigger[0] = False
+    prev_trigger[1:] = triggers[:-1]
+    inspected = _np.where(mask, triggers, ~prev_trigger)
+    ranks = _np.cumsum(inspected)  # 1-based word number per position
+    write_at = _np.nonzero(triggers & (ranks <= n))[0]
+    out = _np.zeros(words_total, dtype=_np.uint32)
+    out[len(header) + ranks[write_at] - 1] = walk[write_at + 1]
+    words = out.tolist()
+    words[: len(header)] = header
+    return words
+
+
 _ENCODE_CACHE: dict = {}
 
 
@@ -285,20 +399,54 @@ def encode_asp_frames(frame_count: int, asp: Asp) -> List[List[int]]:
         raise ValueError("parameters do not fit in the region")
 
     words_total = frame_count * FRAME_WORDS
-    words = header + [0] * (words_total - len(header))
-
-    # Deterministic sparse fill after the header region.
+    # Deterministic sparse fill after the header region, vectorised when
+    # numpy is available (bit-identical to the scalar loop; the property
+    # tests compare both).
     seed = crc32c_words([asp.kind] + params) or 0xDEADBEEF
-    state = seed
-    for i in range(len(header), words_total):
-        state = _xorshift32(state)
-        if state % 4 == 0:  # ~25 % of words configured
-            state = _xorshift32(state)
-            words[i] = state
+    if _np is not None and words_total - len(header) >= 4096:
+        words = _fill_words_numpy(header, words_total, seed)
+    else:
+        words = header + [0] * (words_total - len(header))
+        # The xorshift steps are inlined: this loop runs >130 k times per
+        # region encode and a call per step doubles its cost.
+        state = seed
+        mask = _MASK32  # localise: three global loads per word add ~20 %
+        for i in range(len(header), words_total):
+            state ^= (state << 13) & mask
+            state ^= state >> 17
+            state = (state ^ (state << 5)) & mask
+            if not state & 3:  # ~25 % of words configured (state % 4 == 0)
+                state ^= (state << 13) & mask
+                state ^= state >> 17
+                state = (state ^ (state << 5)) & mask
+                words[i] = state
 
     frames = [words[i : i + FRAME_WORDS] for i in range(0, words_total, FRAME_WORDS)]
     _ENCODE_CACHE[cache_key] = frames
     return frames
+
+
+_ENCODE_PACKED_CACHE: dict = {}
+
+
+def encode_asp_packed(frame_count: int, asp: Asp) -> bytes:
+    """:func:`encode_asp_frames` as one packed little-endian byte string.
+
+    The byte form the configuration-memory slab stores, memoised
+    separately so golden-image comparison and region-CRC computation skip
+    per-word packing on every campaign case.
+    """
+    cache_key = (frame_count, asp.kind, tuple(asp.params()))
+    cached = _ENCODE_PACKED_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    frames = encode_asp_frames(frame_count, asp)
+    packed = struct.pack(
+        f"<{frame_count * FRAME_WORDS}I",
+        *itertools.chain.from_iterable(frames),
+    )
+    _ENCODE_PACKED_CACHE[cache_key] = packed
+    return packed
 
 
 def decode_asp(frames: Sequence[Sequence[int]]) -> Optional[Tuple[int, List[int]]]:

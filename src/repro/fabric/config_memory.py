@@ -5,6 +5,13 @@ the read-back path reads.  Loading a partial bitstream mutates the frames
 of one reconfigurable partition, which in turn changes the functional
 behaviour of that partition (see :mod:`repro.fabric.region`).
 
+Storage is one flat ``bytearray`` slab of little-endian 32-bit words
+(frame *i* occupies bytes ``[i*FRAME_BYTES, (i+1)*FRAME_BYTES)``), so the
+hot paths — ICAP frame commits, scrubber read-back, golden-image
+comparison — move packed bytes instead of per-word Python lists.  The
+word-list API is preserved on top of the slab for tests and the ASP
+decode path.
+
 The model keeps a per-frame generation counter so tests can assert exactly
 which frames a reconfiguration touched, and supports targeted corruption
 for fault-injection experiments.
@@ -12,12 +19,15 @@ for fault-injection experiments.
 
 from __future__ import annotations
 
+import struct
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..bitstream.device import FRAME_WORDS, DeviceLayout
+from ..bitstream.device import FRAME_BYTES, FRAME_WORDS, DeviceLayout
 from ..bitstream.far import FrameAddress
 
 __all__ = ["ConfigMemory"]
+
+_FRAME_STRUCT = struct.Struct(f"<{FRAME_WORDS}I")
 
 
 class ConfigMemory:
@@ -25,10 +35,9 @@ class ConfigMemory:
 
     def __init__(self, layout: DeviceLayout):
         self.layout = layout
-        self._frames: List[List[int]] = [
-            [0] * FRAME_WORDS for _ in range(layout.total_frames)
-        ]
-        self._generation: List[int] = [0] * layout.total_frames
+        self.total_frames = layout.total_frames
+        self._slab = bytearray(self.total_frames * FRAME_BYTES)
+        self._generation: List[int] = [0] * self.total_frames
         self.total_frame_writes = 0
         self._watchers: List[Callable[[int], None]] = []
 
@@ -36,7 +45,8 @@ class ConfigMemory:
     def read_frame(self, index: int) -> List[int]:
         """A copy of frame ``index`` (mutating it does not touch the array)."""
         self._check(index)
-        return list(self._frames[index])
+        offset = index * FRAME_BYTES
+        return list(_FRAME_STRUCT.unpack_from(self._slab, offset))
 
     def write_frame(self, index: int, words: Sequence[int]) -> None:
         self._check(index)
@@ -44,11 +54,38 @@ class ConfigMemory:
             raise ValueError(
                 f"frame write needs {FRAME_WORDS} words, got {len(words)}"
             )
-        self._frames[index] = [w & 0xFFFFFFFF for w in words]
+        try:
+            packed = _FRAME_STRUCT.pack(*words)
+        except struct.error:
+            packed = _FRAME_STRUCT.pack(*(w & 0xFFFFFFFF for w in words))
+        self._write_packed(index, packed)
+
+    def write_frame_packed(self, index: int, packed) -> None:
+        """Write one frame from ``FRAME_BYTES`` of little-endian words."""
+        self._check(index)
+        if len(packed) != FRAME_BYTES:
+            raise ValueError(
+                f"frame write needs {FRAME_BYTES} bytes, got {len(packed)}"
+            )
+        self._write_packed(index, packed)
+
+    def _write_packed(self, index: int, packed) -> None:
+        offset = index * FRAME_BYTES
+        self._slab[offset : offset + FRAME_BYTES] = packed
         self._generation[index] += 1
         self.total_frame_writes += 1
         for watcher in self._watchers:
             watcher(index)
+
+    def read_frames_packed(self, index: int, count: int) -> bytes:
+        """``count`` consecutive frames as packed little-endian bytes."""
+        self._check(index)
+        if count < 1 or index + count > self.total_frames:
+            raise ValueError(
+                f"frame range [{index}, {index + count}) out of range"
+            )
+        offset = index * FRAME_BYTES
+        return bytes(self._slab[offset : offset + count * FRAME_BYTES])
 
     def read_frame_at(self, far: FrameAddress) -> List[int]:
         return self.read_frame(self.layout.frame_index(far))
@@ -61,6 +98,19 @@ class ConfigMemory:
         self._check(index)
         return self._generation[index]
 
+    def generation_span(self, first: int, count: int) -> List[int]:
+        """Generation counters of ``count`` consecutive frames.
+
+        One list slice instead of ``count`` bounds-checked calls — every
+        region constructed walks its full frame span through this.
+        """
+        self._check(first)
+        if count < 0 or first + count > self.total_frames:
+            raise ValueError(
+                f"frame range [{first}, {first + count}) out of range"
+            )
+        return self._generation[first : first + count]
+
     def watch_writes(self, callback: Callable[[int], None]) -> None:
         """Register ``callback(frame_index)`` on every frame write."""
         self._watchers.append(callback)
@@ -68,61 +118,115 @@ class ConfigMemory:
     # -- region views --------------------------------------------------------
     def region_frames(self, name: str) -> List[List[int]]:
         """Copies of all frames of a named region, in address order."""
-        return [
-            self.read_frame(self.layout.frame_index(far))
-            for far in self.layout.region_frames(name)
-        ]
+        first, count = self.layout.region_span(name)
+        return [self.read_frame(first + i) for i in range(count)]
 
     def region_words(self, name: str) -> List[int]:
         """Flat word list of a region (read-back order)."""
-        words: List[int] = []
-        for frame in self.region_frames(name):
-            words.extend(frame)
-        return words
+        first, count = self.layout.region_span(name)
+        offset = first * FRAME_BYTES
+        return list(
+            struct.unpack_from(
+                f"<{count * FRAME_WORDS}I", self._slab, offset
+            )
+        )
+
+    def region_packed(self, name: str) -> bytes:
+        """A region's frame data as packed little-endian bytes."""
+        first, count = self.layout.region_span(name)
+        return self.read_frames_packed(first, count)
 
     def iter_region_words(self, name: str):
-        """Iterate a region's words without copying frames (read-back hot
-        path: the CRC scrubber digests >130 k words per pass)."""
-        for far in self.layout.region_frames(name):
-            yield from self._frames[self.layout.frame_index(far)]
+        """Iterate a region's words without building frame lists (read-back
+        hot path: the CRC scrubber digests >130 k words per pass)."""
+        first, count = self.layout.region_span(name)
+        offset = first * FRAME_BYTES
+        return iter(
+            struct.unpack_from(f"<{count * FRAME_WORDS}I", self._slab, offset)
+        )
 
     def region_equals(self, name: str, frames: Sequence[Sequence[int]]) -> bool:
         """True if the region's frames match ``frames`` exactly.
 
-        Comparison without copying — the invariant monitor calls this
-        after every successful reconfiguration against the golden ASP
-        encoding (1304 frames x 101 words per Z-7020 region).
+        Comparison without building word lists — the invariant monitor
+        calls this after every successful reconfiguration against the
+        golden ASP encoding (1304 frames x 101 words per Z-7020 region).
         """
-        addresses = self.layout.region_frames(name)
-        if len(frames) != len(addresses):
+        first, count = self.layout.region_span(name)
+        if len(frames) != count:
             return False
-        for far, expected in zip(addresses, frames):
-            if self._frames[self.layout.frame_index(far)] != list(expected):
+        slab = self._slab
+        for i, expected in enumerate(frames):
+            offset = (first + i) * FRAME_BYTES
+            try:
+                packed = _FRAME_STRUCT.pack(*expected)
+            except struct.error:
+                # Out-of-32-bit-range words can never equal stored frames.
+                return False
+            if slab[offset : offset + FRAME_BYTES] != packed:
                 return False
         return True
 
+    def region_equals_packed(self, name: str, packed) -> bool:
+        """True if the region's packed frame data matches ``packed``."""
+        first, count = self.layout.region_span(name)
+        if len(packed) != count * FRAME_BYTES:
+            return False
+        offset = first * FRAME_BYTES
+        return self._slab[offset : offset + count * FRAME_BYTES] == packed
+
     def write_region(self, name: str, frames: Sequence[Sequence[int]]) -> None:
         """Directly write a whole region (test/PCAP path, not the ICAP)."""
-        addresses = self.layout.region_frames(name)
-        if len(frames) != len(addresses):
+        first, count = self.layout.region_span(name)
+        if len(frames) != count:
             raise ValueError(
-                f"region {name} has {len(addresses)} frames, got {len(frames)}"
+                f"region {name} has {count} frames, got {len(frames)}"
             )
-        for far, frame in zip(addresses, frames):
-            self.write_frame_at(far, frame)
+        for i, frame in enumerate(frames):
+            self.write_frame(first + i, frame)
+
+    def write_region_packed(self, name: str, packed) -> None:
+        """Directly write a whole region from packed little-endian bytes."""
+        first, count = self.layout.region_span(name)
+        if len(packed) != count * FRAME_BYTES:
+            raise ValueError(
+                f"region {name} needs {count * FRAME_BYTES} bytes, "
+                f"got {len(packed)}"
+            )
+        view = memoryview(packed)
+        for i in range(count):
+            self._write_packed(first + i, view[i * FRAME_BYTES : (i + 1) * FRAME_BYTES])
 
     def clear_region(self, name: str) -> None:
-        for far in self.layout.region_frames(name):
-            self.write_frame_at(far, [0] * FRAME_WORDS)
+        first, count = self.layout.region_span(name)
+        blank = bytes(FRAME_BYTES)
+        for i in range(count):
+            self._write_packed(first + i, blank)
 
     def region_generation(self, name: str) -> Dict[int, int]:
         """Generation counter per frame index of the region."""
+        first, count = self.layout.region_span(name)
         return {
-            self.layout.frame_index(far): self._generation[
-                self.layout.frame_index(far)
-            ]
-            for far in self.layout.region_frames(name)
+            index: self._generation[index]
+            for index in range(first, first + count)
         }
+
+    # -- snapshot support ----------------------------------------------------
+    def capture_state(self):
+        """Plain-data state for :mod:`repro.snapshot` (slab + generations)."""
+        return (
+            bytes(self._slab),
+            tuple(self._generation),
+            self.total_frame_writes,
+        )
+
+    def restore_state(self, state) -> None:
+        """Restore a :meth:`capture_state` result (watchers NOT invoked:
+        forks restore memory before any watcher-owning device reads it)."""
+        slab, generations, writes = state
+        self._slab[:] = slab
+        self._generation[:] = generations
+        self.total_frame_writes = writes
 
     # -- fault injection -------------------------------------------------------
     def corrupt_word(
@@ -132,7 +236,9 @@ class ConfigMemory:
         self._check(frame_index)
         if not 0 <= word_index < FRAME_WORDS:
             raise ValueError(f"word index {word_index} out of range")
-        self._frames[frame_index][word_index] ^= flip_mask
+        offset = frame_index * FRAME_BYTES + word_index * 4
+        (word,) = struct.unpack_from("<I", self._slab, offset)
+        struct.pack_into("<I", self._slab, offset, (word ^ flip_mask) & 0xFFFFFFFF)
         # Deliberately does NOT bump the generation counter: corruption is
         # invisible to the configuration logic, which is exactly why the
         # paper needs a CRC read-back scrubber.
@@ -141,18 +247,16 @@ class ConfigMemory:
         self, name: str, offset_words: int, flip_mask: int = 0x1
     ) -> None:
         """Corrupt the ``offset_words``-th word of a region's frame data."""
-        addresses = self.layout.region_frames(name)
+        first, count = self.layout.region_span(name)
         frame_offset, word_index = divmod(offset_words, FRAME_WORDS)
-        if frame_offset >= len(addresses):
+        if frame_offset >= count:
             raise ValueError(f"offset {offset_words} beyond region {name}")
-        self.corrupt_word(
-            self.layout.frame_index(addresses[frame_offset]), word_index, flip_mask
-        )
+        self.corrupt_word(first + frame_offset, word_index, flip_mask)
 
     # -- internals ----------------------------------------------------------
     def _check(self, index: int) -> None:
-        if not 0 <= index < len(self._frames):
+        if not 0 <= index < self.total_frames:
             raise ValueError(
                 f"frame index {index} out of range (device has "
-                f"{len(self._frames)} frames)"
+                f"{self.total_frames} frames)"
             )

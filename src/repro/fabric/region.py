@@ -28,13 +28,15 @@ class RpRegion:
         self.name = name
         self.layout: DeviceLayout = memory.layout
         self.layout.region(name)  # validate the name early
-        self._frame_indices = [
-            self.layout.frame_index(far) for far in self.layout.region_frames(name)
-        ]
-        # _on_frame_write runs for every frame of every transfer; keep the
-        # membership test O(1) instead of rebuilding a set per call.
-        self._frame_index_set = frozenset(self._frame_indices)
-        self._first_frame_index = self._frame_indices[0] if self._frame_indices else -1
+        # Region frames are contiguous in flat frame-index space
+        # (region_span asserts it), so a range covers them without the
+        # per-frame address translation.  Membership tests on a range are
+        # O(1), which _on_frame_write needs for every frame of every
+        # transfer.
+        first, count = self.layout.region_span(name)
+        self._frame_indices = range(first, first + count)
+        self._frame_index_set = self._frame_indices
+        self._first_frame_index = first if count else -1
         self._cached_asp: Optional[Asp] = None
         self._cached_generation: Optional[List[int]] = None
         #: How many distinct configurations this region has held.
@@ -89,7 +91,9 @@ class RpRegion:
 
     # -- internals ----------------------------------------------------------
     def _generations(self) -> List[int]:
-        return [self.memory.generation(i) for i in self._frame_indices]
+        return self.memory.generation_span(
+            self._frame_indices.start, len(self._frame_indices)
+        )
 
     def _on_frame_write(self, frame_index: int) -> None:
         if frame_index not in self._frame_index_set:

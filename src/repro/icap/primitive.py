@@ -14,16 +14,19 @@ pad frame that every bitstream carries is never written to the array.
 
 from __future__ import annotations
 
+import struct
 from typing import Optional
 
 from ..bitstream.crc import ConfigCrc
-from ..bitstream.device import FRAME_WORDS
+from ..bitstream.device import FRAME_BYTES, FRAME_WORDS
 from ..bitstream.far import FrameAddress
 from ..bitstream.packets import NOOP_WORD, SYNC_WORD, decode_header
 from ..bitstream.registers import Command, ConfigRegister
 from ..fabric.config_memory import ConfigMemory
 
 __all__ = ["ConfigPort"]
+
+_WORD_STRUCT = struct.Struct("<I")
 
 
 class ConfigPort:
@@ -46,8 +49,10 @@ class ConfigPort:
         self._payload_register: Optional[int] = None
         self._payload_remaining = 0
         self._far_index: Optional[int] = None
-        self._frame_buffer: list = []
-        self._held_frame: Optional[list] = None
+        # The FDRI pipeline moves packed little-endian frame bytes: one
+        # partially-filled frame buffer plus the held (pipeline) frame.
+        self._frame_buffer = bytearray()
+        self._held_frame: Optional[bytes] = None
         self.frames_committed = 0
         self.words_consumed = 0
         self.crc.reset()
@@ -112,28 +117,33 @@ class ConfigPort:
                 and self._payload_register == fdri
             ):
                 chunk_len = min(self._payload_remaining, total - index)
-                chunk = [w & 0xFFFFFFFF for w in words[index : index + chunk_len]]
+                chunk = words[index : index + chunk_len]
+                try:
+                    packed = struct.pack(f"<{chunk_len}I", *chunk)
+                except struct.error:
+                    chunk = [w & 0xFFFFFFFF for w in chunk]
+                    packed = struct.pack(f"<{chunk_len}I", *chunk)
                 self._payload_remaining -= chunk_len
                 self.words_consumed += chunk_len
-                self.crc.update_run(fdri, chunk)
-                self._fdri_run(chunk)
+                self.crc.update_run(fdri, chunk, packed=packed)
+                self._fdri_run(packed)
                 index += chunk_len
                 continue
             self.feed_word(words[index])
             index += 1
 
-    def _fdri_run(self, words: list) -> None:
-        """Bulk equivalent of per-word :meth:`_fdri_word`."""
+    def _fdri_run(self, packed: bytes) -> None:
+        """Bulk equivalent of per-word :meth:`_fdri_word` on packed bytes."""
         if not self.wcfg_active or self.idcode_error:
             return
-        self._frame_buffer.extend(words)
         buffer = self._frame_buffer
-        while len(buffer) >= FRAME_WORDS:
-            completed, buffer = buffer[:FRAME_WORDS], buffer[FRAME_WORDS:]
+        buffer += packed
+        while len(buffer) >= FRAME_BYTES:
+            completed = bytes(buffer[:FRAME_BYTES])
+            del buffer[:FRAME_BYTES]
             if self._held_frame is not None:
                 self._commit_frame(self._held_frame)
             self._held_frame = completed
-        self._frame_buffer = buffer
 
     # -- register semantics -------------------------------------------------
     def _handle_write(self, register: Optional[int], word: int) -> None:
@@ -162,22 +172,23 @@ class ConfigPort:
     def _fdri_word(self, word: int) -> None:
         if not self.wcfg_active or self.idcode_error:
             return  # writes are ignored until WCFG, or after an ID failure
-        self._frame_buffer.append(word)
-        if len(self._frame_buffer) < FRAME_WORDS:
+        self._frame_buffer += _WORD_STRUCT.pack(word)
+        if len(self._frame_buffer) < FRAME_BYTES:
             return
-        completed, self._frame_buffer = self._frame_buffer, []
+        completed = bytes(self._frame_buffer)
+        self._frame_buffer = bytearray()
         if self._held_frame is not None:
             self._commit_frame(self._held_frame)
         self._held_frame = completed
 
-    def _commit_frame(self, frame: list) -> None:
+    def _commit_frame(self, frame: bytes) -> None:
         if self._far_index is None:
             self.crc_error = True
             return
         if self._far_index >= self.layout.total_frames:
             self.crc_error = True  # ran off the end of the device
             return
-        self.memory.write_frame(self._far_index, frame)
+        self.memory.write_frame_packed(self._far_index, frame)
         self._far_index += 1
         self.frames_committed += 1
 
@@ -201,6 +212,19 @@ class ConfigPort:
             words.extend(self.memory.read_frame(index))
         return words
 
+    def read_frames_packed(self, far_index: int, frame_count: int) -> bytes:
+        """Packed-bytes :meth:`read_frames`: pad frame + frame data as
+        little-endian bytes (the scrubber's bulk read-back path)."""
+        if frame_count < 1:
+            raise ValueError("must read at least one frame")
+        if not 0 <= far_index < self.layout.total_frames:
+            raise ValueError(f"read-back start frame {far_index} out of range")
+        if far_index + frame_count > self.layout.total_frames:
+            raise ValueError("read-back runs off the end of the device")
+        return bytes(FRAME_BYTES) + self.memory.read_frames_packed(
+            far_index, frame_count
+        )
+
     @staticmethod
     def strip_readback_pad(words: list) -> list:
         """Drop the FDRO pad frame from a read-back word stream."""
@@ -208,22 +232,29 @@ class ConfigPort:
             raise ValueError("read-back stream shorter than the pad frame")
         return words[FRAME_WORDS:]
 
+    @staticmethod
+    def strip_readback_pad_packed(data: bytes) -> bytes:
+        """Drop the FDRO pad frame from a packed read-back byte stream."""
+        if len(data) < FRAME_BYTES:
+            raise ValueError("read-back stream shorter than the pad frame")
+        return data[FRAME_BYTES:]
+
     def _command(self, command: int) -> None:
         if command == int(Command.RCRC):
             self.crc.reset()
             self.crc_error = False
         elif command == int(Command.WCFG):
             self.wcfg_active = True
-            self._frame_buffer = []
+            self._frame_buffer = bytearray()
             self._held_frame = None
         elif command == int(Command.DGHIGH_LFRM):
             # End of frame data: the held (pad) frame is discarded.
             self.wcfg_active = False
             self._held_frame = None
-            self._frame_buffer = []
+            self._frame_buffer = bytearray()
         elif command == int(Command.DESYNC):
             self.synced = False
             self.desynced = True
             self.wcfg_active = False
             self._held_frame = None
-            self._frame_buffer = []
+            self._frame_buffer = bytearray()

@@ -500,30 +500,33 @@ class Simulator:
         self.events_processed += 1
         event._process()
         if self._unhandled:
-            # One event can cascade into several unobserved process deaths
-            # (e.g. a failing event with multiple waiters at the same
-            # timestamp).  Sibling casualties are separate Process events
-            # still sitting on the heap at this same timestamp — collect
-            # them too, then raise the first but keep every casualty
-            # inspectable instead of silently dropping the rest.
-            same_time = []
-            while self._heap and self._heap[0][0] == self._now:
-                same_time.append(heapq.heappop(self._heap))
-            for item in same_time:
-                sibling = item[2]
-                if (
-                    isinstance(sibling, Process)
-                    and sibling._exc is not None
-                    and not sibling.callbacks
-                ):
-                    self.events_processed += 1
-                    sibling._process()
-                else:
-                    heapq.heappush(self._heap, item)
-            self.unhandled_failures.extend(self._unhandled)
-            first = self._unhandled[0]
-            self._unhandled.clear()
-            raise first._exc
+            self._raise_unhandled()
+
+    def _raise_unhandled(self) -> None:
+        # One event can cascade into several unobserved process deaths
+        # (e.g. a failing event with multiple waiters at the same
+        # timestamp).  Sibling casualties are separate Process events
+        # still sitting on the heap at this same timestamp — collect
+        # them too, then raise the first but keep every casualty
+        # inspectable instead of silently dropping the rest.
+        same_time = []
+        while self._heap and self._heap[0][0] == self._now:
+            same_time.append(heapq.heappop(self._heap))
+        for item in same_time:
+            sibling = item[2]
+            if (
+                isinstance(sibling, Process)
+                and sibling._exc is not None
+                and not sibling.callbacks
+            ):
+                self.events_processed += 1
+                sibling._process()
+            else:
+                heapq.heappush(self._heap, item)
+        self.unhandled_failures.extend(self._unhandled)
+        first = self._unhandled[0]
+        self._unhandled.clear()
+        raise first._exc
 
     def peek(self) -> float:
         """Time of the next event, or ``float('inf')`` if the heap is empty."""
@@ -539,11 +542,34 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run)")
         self._running = True
         try:
-            while self._heap:
-                if until is not None and self._heap[0][0] > until:
-                    self._now = until
-                    return
-                self.step()
+            if self.monitor is None:
+                # Batch dispatch: with no monitor attached (the compiled-out
+                # probe configuration, same contract as ``telemetry=False``)
+                # the per-event ``step()`` call collapses into a locals-bound
+                # loop that drains every event sharing a timestamp in one
+                # heap inspection.  Semantics — event order, processed
+                # counts, the unhandled-failure cascade, ``until`` boundary
+                # handling — are identical to repeated ``step()`` calls.
+                heap = self._heap
+                pop = heapq.heappop
+                while heap:
+                    when = heap[0][0]
+                    if until is not None and when > until:
+                        self._now = until
+                        return
+                    self._now = when
+                    while heap and heap[0][0] == when:
+                        event = pop(heap)[2]
+                        self.events_processed += 1
+                        event._process()
+                        if self._unhandled:
+                            self._raise_unhandled()
+            else:
+                while self._heap:
+                    if until is not None and self._heap[0][0] > until:
+                        self._now = until
+                        return
+                    self.step()
             # A bounded run may legitimately drain the heap while processes
             # wait on external stimulus (the caller pokes the model and runs
             # again); only an unbounded run can never wake them.
@@ -565,10 +591,31 @@ class Simulator:
             event.callbacks.append(lambda _event: None)
         self._running = True
         try:
-            while not event.triggered:
-                if not self._heap:
-                    raise Deadlock(self._live_processes)
-                self.step()
+            if self.monitor is None:
+                # Same batch fast path as :meth:`run`; the target-event
+                # check stays per dispatched event so the loop stops at
+                # exactly the same point as repeated ``step()`` calls
+                # (later same-timestamp events remain on the heap).
+                heap = self._heap
+                pop = heapq.heappop
+                while not event.triggered:
+                    if not heap:
+                        raise Deadlock(self._live_processes)
+                    when = heap[0][0]
+                    self._now = when
+                    while heap and heap[0][0] == when:
+                        dispatched = pop(heap)[2]
+                        self.events_processed += 1
+                        dispatched._process()
+                        if self._unhandled:
+                            self._raise_unhandled()
+                        if event.triggered:
+                            break
+            else:
+                while not event.triggered:
+                    if not self._heap:
+                        raise Deadlock(self._live_processes)
+                    self.step()
             # Drain remaining same-timestamp bookkeeping for determinism of
             # repeated run_until calls.
             return event.value

@@ -42,6 +42,7 @@ from ..fabric import (
     encode_asp_frames,
 )
 from ..resilience import FrequencyGovernor, ResilientReconfigurator
+from ..snapshot import fork_system
 
 from .invariants import InvariantMonitor
 
@@ -189,7 +190,9 @@ def run_scenario(scenario) -> Dict[str, Any]:
         pad_bitstreams_to=sc.pad_bytes or None,
         dma_burst_bytes=sc.burst_bytes,
     )
-    system = PdrSystem(config)
+    # Template fork per config identity (byte-identical to a fresh
+    # build; REPRO_SNAPSHOTS=0 falls back to direct construction).
+    system = fork_system(config)
     monitor = InvariantMonitor(raise_on_violation=False).attach(system)
     asp = _make_asp(sc.asp_kind, sc.asp_param)
     start_index = REGIONS.index(sc.region)

@@ -118,3 +118,103 @@ def test_property_single_word_corruption_detected(pairs, flip_index, flip_bit):
     clean = ConfigCrc().updated_many(pairs)
     dirty = ConfigCrc().updated_many(corrupted)
     assert clean.value != dirty.value
+
+
+# -- packed fast paths -------------------------------------------------------
+
+def _reference_crc(pairs):
+    """Word-at-a-time reference (the original slow path)."""
+    crc = ConfigCrc()
+    for addr, word in pairs:
+        crc.update(addr, word)
+    return crc.value
+
+
+def test_update_run_buffered_fold_matches_word_at_a_time():
+    """The deferred run buffer (block folds + flush) is bit-exact."""
+    import struct
+
+    rng = __import__("random").Random(99)
+    crc = ConfigCrc()
+    pairs = []
+    # Several runs of varying lengths: below the fast-path threshold,
+    # exactly one block, multiple blocks, and a straggling tail.
+    for addr, count in ((2, 5), (2, 256), (2, 777), (13, 300), (2, 16)):
+        words = [rng.getrandbits(32) for _ in range(count)]
+        packed = struct.pack(f"<{count}I", *words)
+        crc.update_run(addr, words, packed=packed)
+        pairs += [(addr, w) for w in words]
+        if count == 777:
+            # Interleave a single-word update mid-buffer: forces a flush
+            # of the partial run and exercises the buffer boundary.
+            crc.update(7, 0xDEAD)
+            pairs.append((7, 0xDEAD))
+    assert crc.value == _reference_crc(pairs)
+
+
+def test_numpy_run_constants_match_scalar():
+    """Vectorised run-block constants == scalar slicing-by-20 folds."""
+    import struct
+
+    from repro.bitstream import crc as crc_mod
+
+    if crc_mod._np is None:
+        pytest.skip("numpy unavailable")
+    rng = __import__("random").Random(7)
+    blocks = [
+        bytes(rng.getrandbits(8) for _ in range(crc_mod._RUN_BLOCK_BYTES))
+        for _ in range(10)
+    ]
+    addr = 2
+    expected = [
+        crc_mod._fold_run_raw(
+            0, addr, struct.unpack(f"<{len(block) // 4}I", block)
+        )
+        for block in blocks
+    ]
+    assert crc_mod._run_constants_numpy(addr, blocks) == expected
+
+
+def test_numpy_chunk_constants_match_scalar():
+    """Vectorised chunk constants == scalar folds (odd counts + tails)."""
+    import struct
+
+    from repro.bitstream import crc as crc_mod
+
+    if crc_mod._np is None:
+        pytest.skip("numpy unavailable")
+    rng = __import__("random").Random(11)
+    for word_count in (101, 64, 3232):  # odd + tail, power of two, frame chunk
+        chunks = [
+            bytes(rng.getrandbits(8) for _ in range(word_count * 4))
+            for _ in range(9)
+        ]
+        expected = [
+            crc_mod._fold_words_raw(
+                0, struct.unpack(f"<{word_count}I", chunk)
+            )
+            for chunk in chunks
+        ]
+        assert crc_mod._chunk_constants_numpy(chunks) == expected
+
+
+def test_crc32c_packed_identical_with_and_without_numpy(monkeypatch):
+    """The batch miss path is a pure accelerator for crc32c_packed."""
+    from repro.bitstream import crc as crc_mod
+
+    rng = __import__("random").Random(23)
+    chunks = [
+        bytes(rng.getrandbits(8) for _ in range(404))
+        for _ in range(12)
+    ]
+    joined = crc32c_bytes(b"".join(chunks))
+
+    crc_mod._CHUNK_CACHE.clear()
+    with_numpy = crc_mod.crc32c_packed(iter(chunks))
+
+    crc_mod._CHUNK_CACHE.clear()
+    monkeypatch.setattr(crc_mod, "_np", None)
+    without_numpy = crc_mod.crc32c_packed(iter(chunks))
+    crc_mod._CHUNK_CACHE.clear()
+
+    assert with_numpy == without_numpy == joined

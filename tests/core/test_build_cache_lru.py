@@ -1,0 +1,73 @@
+"""Regression tests for the shared build cache's LRU discipline.
+
+The shared ``_BUILD_CACHE`` memoises partial-bitstream builds across
+system instances.  A hit must *promote* the entry to the hot end — on
+both lookup paths: the shared-cache path and the instance-cache path
+(the latter regressed once: a system answering from its own cache let
+the shared entry age out and evict while it was the hottest build in
+the process).
+"""
+
+import pytest
+
+from repro.core import PdrSystem
+from repro.fabric import FirFilterAsp
+
+
+@pytest.fixture()
+def small_shared_cache(monkeypatch):
+    """A private, capacity-3 shared cache (leaves the real one alone)."""
+    monkeypatch.setattr(PdrSystem, "_BUILD_CACHE", type(PdrSystem._BUILD_CACHE)())
+    monkeypatch.setattr(PdrSystem, "_BUILD_CACHE_MAX", 3)
+    return PdrSystem._BUILD_CACHE
+
+
+def _key_tags(cache):
+    """The FIR tap counts of the cached builds, coldest first."""
+    return [key[2][0] for key in cache]
+
+
+def test_eviction_drops_least_recently_used(small_shared_cache):
+    system = PdrSystem()
+    for taps in ([1], [1, 2], [1, 2, 3]):
+        system.make_bitstream("RP1", FirFilterAsp(taps))
+    assert _key_tags(small_shared_cache) == [1, 2, 3]
+
+    # Touch the oldest build (shared-path hit from a second system), then
+    # insert a fourth: the untouched middle entry is the LRU victim.
+    PdrSystem().make_bitstream("RP1", FirFilterAsp([1]))
+    system.make_bitstream("RP1", FirFilterAsp([1, 2, 3, 4]))
+    assert _key_tags(small_shared_cache) == [3, 1, 4]
+
+
+def test_instance_cache_hit_also_promotes_shared_entry(small_shared_cache):
+    system = PdrSystem()
+    first = system.make_bitstream("RP1", FirFilterAsp([1]))
+    for taps in ([1, 2], [1, 2, 3]):
+        system.make_bitstream("RP1", FirFilterAsp(taps))
+    # Hit through the *instance* cache: same system, same build.
+    assert system.make_bitstream("RP1", FirFilterAsp([1])) is first
+    # The shared entry moved to the hot end, so the next insert evicts
+    # the two-tap build, not the just-used one-tap build.
+    system.make_bitstream("RP1", FirFilterAsp([1, 2, 3, 4]))
+    assert _key_tags(small_shared_cache) == [3, 1, 4]
+    assert 2 not in _key_tags(small_shared_cache)
+
+
+def test_capacity_is_enforced(small_shared_cache):
+    system = PdrSystem()
+    for n in range(1, 8):
+        system.make_bitstream("RP1", FirFilterAsp(list(range(1, n + 1))))
+    assert len(small_shared_cache) == 3
+    # Newest three survive, coldest first.
+    assert _key_tags(small_shared_cache) == [5, 6, 7]
+
+
+def test_instance_identity_survives_shared_eviction(small_shared_cache):
+    system = PdrSystem()
+    first = system.make_bitstream("RP1", FirFilterAsp([1]))
+    for n in range(2, 6):  # flood: evicts the first build from shared
+        system.make_bitstream("RP1", FirFilterAsp(list(range(1, n + 1))))
+    assert 1 not in _key_tags(small_shared_cache)
+    # The instance cache still answers with the same object.
+    assert system.make_bitstream("RP1", FirFilterAsp([1])) is first

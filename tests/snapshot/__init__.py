@@ -1,0 +1,1 @@
+"""Snapshot/fork test suite."""

@@ -1,0 +1,57 @@
+"""Property: template forking never changes a single output byte.
+
+Runs a seeded corpus of ≥50 generated cases — fuzz scenarios (random
+configs, operation mixes, corruption, recovery) plus chaos soak cases
+(full fault plans with SEU injection and scrub-and-repair) — once with
+snapshot templates enabled and once with them disabled, and requires the
+canonical-JSON serialisations of the resulting records to be
+**byte-identical**.  This is the acceptance property of the snapshot
+layer: it is a pure accelerator, invisible in every output.
+"""
+
+import json
+
+from repro.chaos.soak import SoakCaseGenerator, soak_case
+from repro.snapshot import reset_templates
+from repro.verify.fuzz import ScenarioGenerator, run_scenario
+
+FUZZ_SEED = 20260808
+FUZZ_CASES = 46
+SOAK_SEED = 808
+SOAK_CASES = 4
+
+
+def _canonical(records):
+    return json.dumps(records, sort_keys=True, separators=(",", ":"))
+
+
+def _fuzz_corpus():
+    generator = ScenarioGenerator(seed=FUZZ_SEED)
+    return [generator.generate(i).to_mapping() for i in range(FUZZ_CASES)]
+
+
+def _soak_corpus():
+    generator = SoakCaseGenerator(seed=SOAK_SEED)
+    return [generator.generate(i).to_mapping() for i in range(SOAK_CASES)]
+
+
+def test_fork_vs_fresh_byte_identity(monkeypatch):
+    fuzz_cases = _fuzz_corpus()
+    soak_cases = _soak_corpus()
+    assert len(fuzz_cases) + len(soak_cases) >= 50
+
+    outputs = {}
+    for enabled in ("1", "0"):
+        monkeypatch.setenv("REPRO_SNAPSHOTS", enabled)
+        reset_templates()
+        records = [run_scenario(case) for case in fuzz_cases]
+        records += [soak_case(**case) for case in soak_cases]
+        outputs[enabled] = _canonical(records)
+    reset_templates()
+
+    assert outputs["1"] == outputs["0"], (
+        "snapshot forking changed campaign output bytes"
+    )
+    # Sanity: the corpus actually exercised simulations (non-trivial
+    # payload), not 50 empty records.
+    assert len(outputs["1"]) > 10_000

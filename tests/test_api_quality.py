@@ -35,6 +35,7 @@ SUBPACKAGES = [
     "repro.experiments",
     "repro.analysis",
     "repro.exec",
+    "repro.snapshot",
 ]
 
 
