@@ -2,7 +2,13 @@
 
 from .asciiplot import render_plot
 from .series import Series, knee_frequency, linear_fit
-from .stats import Summary, group_results_by_frequency, summarize, summarize_results
+from .stats import (
+    Summary,
+    group_results_by_frequency,
+    nearest_rank,
+    summarize,
+    summarize_results,
+)
 
 __all__ = [
     "Series",
@@ -10,6 +16,7 @@ __all__ = [
     "group_results_by_frequency",
     "knee_frequency",
     "linear_fit",
+    "nearest_rank",
     "render_plot",
     "summarize",
     "summarize_results",

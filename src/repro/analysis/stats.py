@@ -11,7 +11,37 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
-__all__ = ["Summary", "summarize", "summarize_results", "group_results_by_frequency"]
+__all__ = [
+    "Summary",
+    "group_results_by_frequency",
+    "nearest_rank",
+    "summarize",
+    "summarize_results",
+]
+
+
+def nearest_rank(sample: Iterable[float], pct: float) -> Optional[float]:
+    """Nearest-rank percentile: the ``ceil(pct/100 * n)``-th smallest value.
+
+    This is the canonical percentile of every campaign rollup and SLO in
+    the repo (soak MTTR, campaign p50/p99, fleet request latency).  Two
+    properties matter:
+
+    * **nearest-rank, not interpolated** — the result is an actually
+      observed sample, so serial and ``--jobs N`` campaigns (which merge
+      in spec order) stay byte-identical and replay-stable;
+    * **ceil rank** — the textbook nearest-rank definition.  The previous
+      per-module copies computed ``int(round(pct/100*n + 0.5))``, which
+      banker's-rounds odd integer ranks upward (p50 of 6 samples returned
+      rank 4, not ``ceil(3.0) = 3``), silently overstating every p50/p99.
+
+    Accepts an unsorted sample; returns ``None`` when it is empty.
+    """
+    ordered = sorted(sample)
+    if not ordered:
+        return None
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
 
 
 @dataclass(frozen=True)

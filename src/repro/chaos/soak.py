@@ -33,6 +33,7 @@ import random
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
+from ..analysis.stats import nearest_rank
 from ..core import PdrSystem, PdrSystemConfig
 from ..exec import SweepRunner
 from ..obs.campaign import CampaignReport, aggregate_campaign
@@ -130,15 +131,6 @@ class SoakCaseGenerator:
 # ---------------------------------------------------------------------------
 # One episode
 # ---------------------------------------------------------------------------
-
-
-def _nearest_rank(samples: List[float], pct: float) -> Optional[float]:
-    """Nearest-rank percentile (no interpolation — replay-stable)."""
-    if not samples:
-        return None
-    ordered = sorted(samples)
-    rank = max(1, int(round(pct / 100.0 * len(ordered) + 0.5)))
-    return ordered[min(rank, len(ordered)) - 1]
 
 
 def _seu_repair_ns(
@@ -480,9 +472,9 @@ def run_soak(
         )
     report.frames_at_risk_us = round(report.frames_at_risk_us, 3)
     report.mttr_samples = len(mttr_samples)
-    report.mttr_p50_us = _nearest_rank(mttr_samples, 50.0)
-    report.mttr_p90_us = _nearest_rank(mttr_samples, 90.0)
-    report.mttr_p99_us = _nearest_rank(mttr_samples, 99.0)
+    report.mttr_p50_us = nearest_rank(mttr_samples, 50.0)
+    report.mttr_p90_us = nearest_rank(mttr_samples, 90.0)
+    report.mttr_p99_us = nearest_rank(mttr_samples, 99.0)
 
     slos = report.slos
     if report.availability_mean < slos.min_availability:

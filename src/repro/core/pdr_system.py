@@ -65,6 +65,11 @@ __all__ = ["PdrSystemConfig", "PdrSystem"]
 #: row of the paper's Table I (size = throughput x latency); see DESIGN.md.
 TABLE1_BITSTREAM_BYTES = 528_760
 
+#: Sentinel: :meth:`PdrSystem.make_bitstream` pads to the system config's
+#: ``pad_bitstreams_to`` unless the caller overrides per build (the fleet
+#: layer serves mixed-size requests from one system).
+_PAD_FROM_CONFIG = object()
+
 
 @dataclass
 class PdrSystemConfig:
@@ -298,18 +303,29 @@ class PdrSystem:
         return self.thermal.temperature_c
 
     # --------------------------------------------------------------- bitstreams --
-    def make_bitstream(self, region: str, asp: Asp, description: str = "") -> Bitstream:
+    def make_bitstream(
+        self,
+        region: str,
+        asp: Asp,
+        description: str = "",
+        pad_to=_PAD_FROM_CONFIG,
+    ) -> Bitstream:
         """Build a partial bitstream configuring ``region`` as ``asp``.
 
-        Builds are deterministic and memoised per (region, ASP); treat the
-        returned object as read-only (use :meth:`Bitstream.corrupted` for
-        fault-injection variants).
+        Builds are deterministic and memoised per (region, ASP, padding);
+        treat the returned object as read-only (use
+        :meth:`Bitstream.corrupted` for fault-injection variants).
+        ``pad_to`` overrides the config's ``pad_bitstreams_to`` for this
+        build only (``None`` = content-sized) — request-level workloads
+        mix bitstream sizes on one system this way.
         """
+        if pad_to is _PAD_FROM_CONFIG:
+            pad_to = self.config.pad_bitstreams_to
         cache_key = (
             region,
             asp.kind,
             tuple(asp.params()),
-            self.config.pad_bitstreams_to,
+            pad_to,
             description,
         )
         cached = self._bitstream_cache.get(cache_key)
@@ -333,7 +349,7 @@ class PdrSystem:
         packed_frames = encode_asp_packed(frame_count, asp)
         bitstream = self.builder.build_partial(
             region,
-            pad_to_bytes=self.config.pad_bitstreams_to,
+            pad_to_bytes=pad_to,
             description=description or f"{asp.name} for {region}",
             frame_data_packed=packed_frames,
         )
@@ -446,10 +462,13 @@ class PdrSystem:
     ) -> "BatchReconfigResult":
         """Reconfigure several partitions back-to-back via SG descriptors.
 
-        ``jobs`` is a list of ``(region, asp)`` pairs.  A scatter-gather
-        descriptor chain in DRAM points at each staged bitstream; the DMA
-        walks the chain with no software between transfers, so the
-        per-transfer driver overhead is paid once for the whole batch.
+        ``jobs`` is a list of ``(region, asp)`` pairs — or
+        ``(region, asp, pad_to)`` triples to override the bitstream
+        padding per job (the fleet layer batches mixed-size requests).
+        A scatter-gather descriptor chain in DRAM points at each staged
+        bitstream; the DMA walks the chain with no software between
+        transfers, so the per-transfer driver overhead is paid once for
+        the whole batch.
         """
         from ..dma.descriptors import SgDescriptor, SgDmaEngine, write_descriptor_chain
 
@@ -457,10 +476,12 @@ class PdrSystem:
             raise ValueError("batch needs at least one (region, asp) job")
         bitstreams = []
         descriptors = []
-        for region, asp in jobs:
+        for job in jobs:
+            region, asp = job[0], job[1]
+            pad_to = job[2] if len(job) > 2 else _PAD_FROM_CONFIG
             if region not in self.regions:
                 raise KeyError(f"unknown region {region!r}")
-            bitstream = self.make_bitstream(region, asp)
+            bitstream = self.make_bitstream(region, asp, pad_to=pad_to)
             addr = self.stage_bitstream(bitstream)
             bitstreams.append((region, bitstream))
             descriptors.append(

@@ -25,7 +25,7 @@ from __future__ import annotations
 import json
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
@@ -33,6 +33,7 @@ __all__ = [
     "DEFAULT_TOLERANCE",
     "load_baseline",
     "probe_chaos",
+    "probe_fleet",
     "probe_milestone",
     "probe_sweeps",
     "run_check",
@@ -50,6 +51,7 @@ _REPO_ROOT = os.path.dirname(
 BASELINE_FILES = {
     "sweeps": "BENCH_sweeps.json",
     "chaos": "BENCH_chaos.json",
+    "fleet": "BENCH_fleet.json",
 }
 
 
@@ -187,6 +189,30 @@ def probe_chaos(seed: int, cases: int) -> Dict[str, Any]:
     if report.mttr_p99_us is not None:
         fresh["mttr_p99_us"] = report.mttr_p99_us
     return fresh
+
+
+def probe_fleet(campaign: Mapping[str, Any]) -> Dict[str, Any]:
+    """Re-run the benchmark fleet campaign; request-level SLO figures."""
+    from ..fleet import FleetSpec, run_fleet
+
+    known = {f.name for f in fields(FleetSpec)}
+    spec = FleetSpec(**{k: v for k, v in campaign.items() if k in known})
+    t0 = time.perf_counter()
+    report = run_fleet(spec)
+    wall_s = time.perf_counter() - t0
+    slos = report.slos.to_mapping()
+    return {
+        "wall_s": wall_s,
+        "offered": float(report.offered),
+        "admitted": float(report.admitted),
+        "coalesced": float(report.coalesced),
+        "loads": float(report.loads),
+        "p50_latency_us": slos["p50_latency_us"],
+        "p99_latency_us": slos["p99_latency_us"],
+        "mean_wait_us": slos["mean_wait_us"],
+        "rejected_rate": slos["rejected_rate"],
+        "failed_rate": slos["failed_rate"],
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -347,8 +373,46 @@ def _compare_chaos(
     return checks
 
 
+def _compare_fleet(
+    baseline: Mapping[str, Any],
+    fresh: Mapping[str, Any],
+    tolerance: float,
+    wall_tolerance: Optional[float],
+    inject_scale: float,
+    skipped: Optional[List[str]] = None,
+) -> List[Check]:
+    checks: List[Check] = []
+    requests = baseline.get("requests", {})
+    slos = baseline.get("slos", {})
+    spec = [
+        ("offered", requests.get("offered"), "higher"),
+        ("admitted", requests.get("admitted"), "lower"),
+        ("coalesced", requests.get("coalesced"), "lower"),
+        ("loads", requests.get("loads"), "higher"),
+        ("p50_latency_us", slos.get("p50_latency_us"), "higher"),
+        ("p99_latency_us", slos.get("p99_latency_us"), "higher"),
+        ("mean_wait_us", slos.get("mean_wait_us"), "higher"),
+        ("rejected_rate", slos.get("rejected_rate"), "higher"),
+        ("failed_rate", slos.get("failed_rate"), "higher"),
+    ]
+    for metric, base_value, worse in spec:
+        _check(
+            checks, "fleet", metric, base_value, fresh.get(metric),
+            tolerance, worse=worse, inject_scale=inject_scale,
+            skipped=skipped,
+        )
+    _check(
+        checks, "fleet", "wall_s",
+        baseline.get("fleet_wall_s"), fresh.get("wall_s"),
+        wall_tolerance if wall_tolerance is not None else tolerance,
+        worse="higher", advisory=wall_tolerance is None,
+        inject_scale=inject_scale, skipped=skipped,
+    )
+    return checks
+
+
 def run_check(
-    suites: Sequence[str] = ("sweeps", "chaos"),
+    suites: Sequence[str] = ("sweeps", "chaos", "fleet"),
     tolerance: float = DEFAULT_TOLERANCE,
     wall_tolerance: Optional[float] = None,
     inject_scale: float = 1.0,
@@ -391,6 +455,12 @@ def run_check(
                 int(campaign.get("seed", 1)), int(campaign.get("cases", 3))
             )
             checks += _compare_chaos(
+                baseline, fresh, tolerance, wall_tolerance, inject_scale,
+                skipped=skipped,
+            )
+        elif suite == "fleet":
+            fresh = probe_fleet(baseline.get("campaign", {}))
+            checks += _compare_fleet(
                 baseline, fresh, tolerance, wall_tolerance, inject_scale,
                 skipped=skipped,
             )

@@ -285,6 +285,45 @@ def _run_report_command(args, runner: SweepRunner) -> int:
     return 0
 
 
+def _run_fleet_command(args, runner: SweepRunner) -> int:
+    """``repro-pdr fleet``: fleet-scale PDR service under live traffic.
+
+    Builds the seed-deterministic open-loop workload, schedules it over
+    ``--boards`` snapshot-forked boards (admission control, bounded
+    queues, same-bitstream batching), executes every board through the
+    sweep engine (serial ≡ ``--jobs N`` byte-identical) and prints the
+    request-level SLO report.  ``--out`` writes the canonical JSON form;
+    exit status 1 when a ``--max-*`` SLO target is breached.
+    """
+    from ..fleet import FleetSpec, format_report, render_json, run_fleet
+
+    spec = FleetSpec(
+        boards=args.boards,
+        seed=args.seed,
+        duration_ms=args.duration_ms,
+        arrival=args.arrival,
+        rate_per_ms=args.rate,
+        queue_depth=args.queue_depth,
+        batching=not args.no_batching,
+    )
+    report = run_fleet(spec, runner=runner)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(render_json(report))
+        print(
+            f"wrote fleet report ({report.offered} requests) to {args.out}",
+            file=sys.stderr,
+        )
+    print(format_report(report))
+    breaches = report.slos.breaches(
+        p99_target_us=args.max_p99_latency_us,
+        reject_target=args.max_rejected_rate,
+    )
+    for breach in breaches:
+        print(f"SLO breach: {breach}", file=sys.stderr)
+    return 1 if breaches else 0
+
+
 def _run_bench_command(args) -> int:
     """``repro-pdr bench --check``: the perf-regression gate."""
     from .benchcheck import run_check
@@ -297,7 +336,7 @@ def _run_bench_command(args) -> int:
         )
         return 2
     code, lines = run_check(
-        suites=tuple(args.suite) if args.suite else ("sweeps", "chaos"),
+        suites=tuple(args.suite) if args.suite else ("sweeps", "chaos", "fleet"),
         tolerance=args.tolerance,
         wall_tolerance=args.wall_tolerance,
         inject_scale=args.inject_scale,
@@ -321,12 +360,15 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        choices=sorted(EXPERIMENTS) + ["all", "bench", "chaos", "fuzz", "report"],
+        choices=sorted(EXPERIMENTS)
+        + ["all", "bench", "chaos", "fleet", "fuzz", "report"],
         help=(
             "which paper artifacts to regenerate; 'fuzz' instead runs the "
             "deterministic scenario fuzzer under the invariant monitor; "
             "'chaos' runs a seeded fault-injection soak campaign graded "
-            "against availability SLOs; 'report' aggregates a 56-point "
+            "against availability SLOs; 'fleet' drives a multi-board fleet "
+            "with open-loop request traffic and reports request-level "
+            "SLOs; 'report' aggregates a 56-point "
             "campaign into a telemetry rollup; 'bench --check' diffs "
             "fresh benchmark probes against the committed baselines"
         ),
@@ -407,6 +449,65 @@ def main(argv=None) -> int:
         default=60_000.0,
         metavar="US",
         help="chaos: SLO ceiling on p99 repair latency (default 60000 us)",
+    )
+    parser.add_argument(
+        "--boards",
+        type=int,
+        default=4,
+        metavar="N",
+        help="fleet: number of simulated boards (default 4)",
+    )
+    parser.add_argument(
+        "--duration-ms",
+        type=float,
+        default=20.0,
+        metavar="MS",
+        help="fleet: workload duration in milliseconds (default 20)",
+    )
+    parser.add_argument(
+        "--arrival",
+        choices=["poisson", "bursty"],
+        default="poisson",
+        help="fleet: arrival process (default poisson)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=2.0,
+        metavar="PER_MS",
+        help="fleet: offered load in requests per millisecond (default 2.0)",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=6,
+        metavar="N",
+        help=(
+            "fleet: bounded per-board queue; arrivals beyond it are "
+            "rejected (default 6)"
+        ),
+    )
+    parser.add_argument(
+        "--no-batching",
+        action="store_true",
+        help=(
+            "fleet: disable same-bitstream coalescing and scatter-gather "
+            "dispatch grouping"
+        ),
+    )
+    parser.add_argument(
+        "--max-p99-latency-us",
+        type=float,
+        default=None,
+        metavar="US",
+        help="fleet: SLO ceiling on p99 request latency (exit 1 on breach)",
+    )
+    parser.add_argument(
+        "--max-rejected-rate",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="fleet: SLO ceiling on the rejected-request rate (exit 1 on breach)",
     )
     parser.add_argument(
         "--jobs",
@@ -504,9 +605,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--suite",
         action="append",
-        choices=["sweeps", "chaos"],
+        choices=["sweeps", "chaos", "fleet"],
         default=None,
-        help="bench: check only this suite (repeatable; default both)",
+        help="bench: check only this suite (repeatable; default all three)",
     )
     parser.add_argument(
         "--baseline-dir",
@@ -552,6 +653,11 @@ def main(argv=None) -> int:
     if args.cache is not None:
         cache = ResultCache(args.cache or default_cache_dir())
     runner = SweepRunner(jobs=args.jobs, cache=cache)
+
+    if "fleet" in args.experiments:
+        if len(args.experiments) != 1:
+            parser.error("'fleet' cannot be combined with other experiments")
+        return _run_fleet_command(args, runner)
 
     if "report" in args.experiments:
         if len(args.experiments) != 1:

@@ -1,0 +1,267 @@
+"""Fleet SLO reporting.
+
+A fleet campaign is graded at the *request* level: what matters to a
+tenant is not one board's reconfiguration latency but how long their
+request sat in a queue plus how long the fabric load took, and whether
+the request was admitted at all.  :class:`FleetReport` folds the
+replayed per-request outcomes into the service-level objectives the
+ROADMAP names — p50/p99 end-to-end latency, rejected-request rate,
+per-board utilisation — using the same nearest-rank percentile helper
+as every other campaign rollup in the repo
+(:func:`repro.analysis.stats.nearest_rank`).
+
+Serialisation follows the house convention: :func:`render_json` is
+canonical (sorted keys, trailing newline) so byte-comparing two runs is
+a meaningful determinism check, and :func:`format_report` renders the
+human summary the CLI prints.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..analysis.stats import nearest_rank
+
+__all__ = [
+    "BoardUsage",
+    "FleetReport",
+    "FleetSlos",
+    "RequestOutcome",
+    "format_report",
+    "render_json",
+]
+
+SCHEMA = "repro.fleet/v1"
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """One admitted request's replayed fate."""
+
+    index: int
+    board: int
+    #: Queue wait: admission to dispatch-group start (µs).
+    wait_us: float
+    #: End-to-end: arrival to group completion (µs).
+    latency_us: float
+    #: Served by a multi-job SG group or a coalesced load.
+    batched: bool
+    #: The serving load's post-load scrub verdict.
+    ok: bool
+
+    def to_mapping(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "board": self.board,
+            "wait_us": self.wait_us,
+            "latency_us": self.latency_us,
+            "batched": self.batched,
+            "ok": self.ok,
+        }
+
+
+@dataclass(frozen=True)
+class BoardUsage:
+    """One board's share of the campaign."""
+
+    board: int
+    loads: int
+    groups: int
+    requests: int
+    #: Time the fabric was actually loading/scrubbing (µs).
+    busy_us: float
+    #: When this board finished its last group (µs).
+    span_us: float
+
+    def utilisation(self, horizon_us: float) -> float:
+        if horizon_us <= 0:
+            return 0.0
+        return round(self.busy_us / horizon_us, 4)
+
+    def to_mapping(self, horizon_us: float) -> Dict[str, Any]:
+        return {
+            "board": self.board,
+            "loads": self.loads,
+            "groups": self.groups,
+            "requests": self.requests,
+            "busy_us": self.busy_us,
+            "utilisation": self.utilisation(horizon_us),
+        }
+
+
+@dataclass(frozen=True)
+class FleetSlos:
+    """The headline service-level numbers."""
+
+    p50_latency_us: Optional[float]
+    p99_latency_us: Optional[float]
+    p50_wait_us: Optional[float]
+    p99_wait_us: Optional[float]
+    mean_wait_us: Optional[float]
+    rejected_rate: float
+    #: Fraction of served requests whose load failed its scrub check.
+    failed_rate: float
+
+    def to_mapping(self) -> Dict[str, Any]:
+        return {
+            "p50_latency_us": self.p50_latency_us,
+            "p99_latency_us": self.p99_latency_us,
+            "p50_wait_us": self.p50_wait_us,
+            "p99_wait_us": self.p99_wait_us,
+            "mean_wait_us": self.mean_wait_us,
+            "rejected_rate": self.rejected_rate,
+            "failed_rate": self.failed_rate,
+        }
+
+    def breaches(
+        self,
+        p99_target_us: Optional[float] = None,
+        reject_target: Optional[float] = None,
+    ) -> List[str]:
+        """Human-readable SLO violations against the given targets."""
+        out = []
+        if (
+            p99_target_us is not None
+            and self.p99_latency_us is not None
+            and self.p99_latency_us > p99_target_us
+        ):
+            out.append(
+                f"p99 latency {self.p99_latency_us:.1f}us exceeds "
+                f"target {p99_target_us:.1f}us"
+            )
+        if reject_target is not None and self.rejected_rate > reject_target:
+            out.append(
+                f"rejected rate {self.rejected_rate:.4f} exceeds "
+                f"target {reject_target:.4f}"
+            )
+        return out
+
+
+def _round_opt(value: Optional[float]) -> Optional[float]:
+    return None if value is None else round(value, 3)
+
+
+@dataclass
+class FleetReport:
+    """The full graded outcome of one fleet campaign."""
+
+    spec: Dict[str, Any]
+    offered: int
+    admitted: int
+    rejected: int
+    coalesced: int
+    loads: int
+    batches: int
+    slos: FleetSlos
+    boards: List[BoardUsage] = field(default_factory=list)
+    outcomes: List[RequestOutcome] = field(default_factory=list)
+    #: Shared denominator for utilisation: campaign duration or fleet
+    #: makespan, whichever is longer (overload drains past the horizon).
+    horizon_us: float = 0.0
+
+    @classmethod
+    def build(
+        cls,
+        spec: Mapping[str, Any],
+        offered: int,
+        plan,
+        outcomes: Sequence[RequestOutcome],
+        boards: Sequence[BoardUsage],
+    ) -> "FleetReport":
+        latencies = [outcome.latency_us for outcome in outcomes]
+        waits = [outcome.wait_us for outcome in outcomes]
+        failed = sum(1 for outcome in outcomes if not outcome.ok)
+        slos = FleetSlos(
+            p50_latency_us=_round_opt(nearest_rank(latencies, 50)),
+            p99_latency_us=_round_opt(nearest_rank(latencies, 99)),
+            p50_wait_us=_round_opt(nearest_rank(waits, 50)),
+            p99_wait_us=_round_opt(nearest_rank(waits, 99)),
+            mean_wait_us=(
+                round(sum(waits) / len(waits), 3) if waits else None
+            ),
+            rejected_rate=(
+                round(len(plan.rejected) / offered, 4) if offered else 0.0
+            ),
+            failed_rate=(
+                round(failed / len(outcomes), 4) if outcomes else 0.0
+            ),
+        )
+        duration_us = float(spec.get("duration_ms", 0.0)) * 1e3
+        makespan_us = max((usage.span_us for usage in boards), default=0.0)
+        return cls(
+            spec=dict(spec),
+            offered=offered,
+            admitted=plan.admitted,
+            rejected=len(plan.rejected),
+            coalesced=plan.coalesced,
+            loads=plan.loads,
+            batches=sum(
+                sum(1 for group in board_plan.groups if len(group) > 1)
+                for board_plan in plan.boards
+            ),
+            slos=slos,
+            boards=list(boards),
+            outcomes=list(outcomes),
+            horizon_us=round(max(duration_us, makespan_us), 3),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "spec": self.spec,
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "coalesced": self.coalesced,
+            "loads": self.loads,
+            "batches": self.batches,
+            "horizon_us": self.horizon_us,
+            "slos": self.slos.to_mapping(),
+            "boards": [
+                usage.to_mapping(self.horizon_us) for usage in self.boards
+            ],
+            "outcomes": [outcome.to_mapping() for outcome in self.outcomes],
+        }
+
+
+def render_json(report: FleetReport) -> str:
+    """Canonical JSON: sorted keys, trailing newline — byte-comparable."""
+    return json.dumps(report.to_dict(), sort_keys=True, indent=2) + "\n"
+
+
+def _fmt(value: Optional[float]) -> str:
+    return "n/a" if value is None else f"{value:.1f}"
+
+
+def format_report(report: FleetReport) -> str:
+    """The CLI's human summary of one fleet campaign."""
+    spec = report.spec
+    slos = report.slos
+    lines = [
+        f"# Fleet report — {spec.get('boards')} board(s), "
+        f"seed {spec.get('seed')}, {spec.get('arrival')} arrivals "
+        f"@ {spec.get('rate_per_ms')}/ms for {spec.get('duration_ms')} ms",
+        "",
+        f"requests: {report.offered} offered, {report.admitted} admitted, "
+        f"{report.rejected} rejected ({slos.rejected_rate:.2%}), "
+        f"{report.coalesced} coalesced",
+        f"loads: {report.loads} fabric loads in "
+        f"{report.batches} multi-job batch(es)",
+        f"latency_us: p50 {_fmt(slos.p50_latency_us)} "
+        f"p99 {_fmt(slos.p99_latency_us)}",
+        f"queue_wait_us: p50 {_fmt(slos.p50_wait_us)} "
+        f"p99 {_fmt(slos.p99_wait_us)} mean {_fmt(slos.mean_wait_us)}",
+        f"failed_rate: {slos.failed_rate:.2%}",
+        "",
+        "| board | loads | groups | requests | busy_us | utilisation |",
+        "|---|---|---|---|---|---|",
+    ]
+    for usage in report.boards:
+        lines.append(
+            f"| {usage.board} | {usage.loads} | {usage.groups} "
+            f"| {usage.requests} | {usage.busy_us:.1f} "
+            f"| {usage.utilisation(report.horizon_us):.1%} |"
+        )
+    return "\n".join(lines) + "\n"

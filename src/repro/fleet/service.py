@@ -1,0 +1,203 @@
+"""Fleet execution: boards simulate their schedules, SLOs are replayed.
+
+:func:`run_fleet` is the service's main loop, split into three
+deterministic phases:
+
+1. **Plan** — :func:`~repro.fleet.workload.build_workload` +
+   :func:`~repro.fleet.scheduler.plan_fleet` turn ``(seed, duration,
+   rate, mode)`` into per-board dispatch schedules.  Pure data.
+2. **Execute** — each board's schedule runs on a real
+   :class:`~repro.core.PdrSystem` (forked from the snapshot template)
+   through :class:`~repro.exec.SweepRunner`.  Boards are independent —
+   the only cross-board coupling (placement) already happened in the
+   plan — so this phase fans out over worker processes and the runner's
+   merge-in-spec-order contract keeps ``--jobs N`` byte-identical to
+   serial.
+3. **Replay** — the *measured* per-group service times are replayed
+   against the request arrival times to recover the fleet timeline: a
+   group starts when the board is free and every member has arrived;
+   every member completes when its group does.  Queue wait and
+   end-to-end latency per request fall out, and with them the SLOs.
+
+The split exists because a board's simulator only knows its own clock
+(each board simulates its dispatch sequence back-to-back from t=0); the
+queueing behaviour lives in the arrival process, which phase 3 owns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..exec.runner import SweepRunner, note_events
+from ..snapshot.templates import fork_system
+from ..verify.fuzz import _make_asp
+from .report import BoardUsage, FleetReport, RequestOutcome
+from .scheduler import FleetPlan, plan_fleet
+from .workload import ARRIVAL_MODES, build_workload
+
+__all__ = ["FleetSpec", "board_point", "run_fleet"]
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """One fleet campaign, fully determined by its fields."""
+
+    boards: int = 4
+    seed: int = 1
+    duration_ms: float = 20.0
+    arrival: str = "poisson"
+    #: Offered load: mean request arrivals per millisecond.
+    rate_per_ms: float = 2.0
+    #: Bounded per-board queue; arrivals beyond it are rejected.
+    queue_depth: int = 6
+    #: Same-bitstream coalescing + SG dispatch grouping.
+    batching: bool = True
+    #: Max jobs per scatter-gather dispatch group.
+    batch_limit: int = 4
+    #: PL clock for every load (the robust Table-I operating point).
+    freq_mhz: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.boards < 1:
+            raise ValueError("a fleet needs at least one board")
+        if self.arrival not in ARRIVAL_MODES:
+            raise ValueError(
+                f"unknown arrival mode {self.arrival!r} "
+                f"(expected one of {ARRIVAL_MODES})"
+            )
+
+    def to_mapping(self) -> Dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+def board_point(board: int, groups: Sequence, freq_mhz: float) -> Dict[str, Any]:
+    """Execute one board's dispatch schedule; returns measured timings.
+
+    ``groups`` arrives in the runner's canonical form: a tuple of
+    dispatch groups, each a tuple of ``(region, asp_kind, asp_param,
+    pad_to)`` jobs (``pad_to == 0`` meaning content-sized).  The board is
+    forked from the snapshot template — the fleet's cheap
+    board-provisioning path — and runs its groups back-to-back; the
+    queue timeline is reconstructed later from these service times plus
+    the arrival process.
+    """
+    system = fork_system()
+    executed: List[Dict[str, Any]] = []
+    for group in groups:
+        start_ns = system.sim.now
+        if len(group) == 1:
+            region, kind, param, pad = group[0]
+            asp = _make_asp(kind, int(param))
+            bitstream = system.make_bitstream(
+                region, asp, pad_to=int(pad) or None
+            )
+            result = system.reconfigure(region, asp, freq_mhz, bitstream)
+            ok = bool(result.crc_valid)
+        else:
+            jobs = [
+                (region, _make_asp(kind, int(param)), int(pad) or None)
+                for region, kind, param, pad in group
+            ]
+            batch = system.reconfigure_batch(jobs, freq_mhz)
+            ok = all(batch.region_valid.values())
+        executed.append(
+            {
+                "jobs": len(group),
+                # Measured wall (sim) time of the whole dispatch: clock
+                # lock, driver setup, transfer(s), post-load scrub.
+                "service_us": round((system.sim.now - start_ns) / 1e3, 3),
+                "ok": ok,
+            }
+        )
+    note_events(system.sim.events_processed)
+    return {"board": int(board), "groups": executed}
+
+
+def _replay_timeline(
+    plan: FleetPlan,
+    executed: Sequence[Dict[str, Any]],
+    arrivals_us: Dict[int, float],
+) -> Tuple[List[RequestOutcome], List[BoardUsage]]:
+    """Phase 3: measured service times × arrival process → per-request SLOs."""
+    outcomes: List[RequestOutcome] = []
+    usages: List[BoardUsage] = []
+    for board_plan, payload in zip(plan.boards, executed):
+        free_us = 0.0
+        busy_us = 0.0
+        served = 0
+        last_end_us = 0.0
+        for group, measured in zip(board_plan.groups, payload["groups"]):
+            ready_us = max(job.arrival_us for job in group)
+            start_us = max(free_us, ready_us)
+            service_us = float(measured["service_us"])
+            end_us = start_us + service_us
+            for job in group:
+                for member in job.members:
+                    arrival = arrivals_us[member]
+                    outcomes.append(
+                        RequestOutcome(
+                            index=member,
+                            board=board_plan.board,
+                            wait_us=round(start_us - arrival, 3),
+                            latency_us=round(end_us - arrival, 3),
+                            batched=len(group) > 1 or len(job.members) > 1,
+                            ok=bool(measured["ok"]),
+                        )
+                    )
+                    served += 1
+            free_us = end_us
+            busy_us += service_us
+            last_end_us = end_us
+        usages.append(
+            BoardUsage(
+                board=board_plan.board,
+                loads=len(board_plan.jobs),
+                groups=len(board_plan.groups),
+                requests=served,
+                busy_us=round(busy_us, 3),
+                span_us=round(last_end_us, 3),
+            )
+        )
+    outcomes.sort(key=lambda outcome: outcome.index)
+    return outcomes, usages
+
+
+def run_fleet(
+    spec: FleetSpec,
+    jobs: int = 1,
+    runner: Optional[SweepRunner] = None,
+) -> FleetReport:
+    """Run one fleet campaign end to end; pure function of ``spec``."""
+    requests = build_workload(
+        spec.seed, spec.duration_ms, spec.arrival, spec.rate_per_ms
+    )
+    plan = plan_fleet(
+        requests,
+        boards=spec.boards,
+        queue_depth=spec.queue_depth,
+        batching=spec.batching,
+        batch_limit=spec.batch_limit,
+    )
+    param_sets = [
+        {
+            "board": board_plan.board,
+            "groups": board_plan.executable_groups(),
+            "freq_mhz": spec.freq_mhz,
+        }
+        for board_plan in plan.boards
+    ]
+    labels = [f"board{board_plan.board}" for board_plan in plan.boards]
+    runner = runner or SweepRunner(jobs=jobs)
+    executed = runner.map(
+        f"fleet-{spec.arrival}-s{spec.seed}", board_point, param_sets, labels
+    )
+    arrivals_us = {request.index: request.arrival_us for request in requests}
+    outcomes, usages = _replay_timeline(plan, executed, arrivals_us)
+    return FleetReport.build(
+        spec=spec.to_mapping(),
+        offered=len(requests),
+        plan=plan,
+        outcomes=outcomes,
+        boards=usages,
+    )

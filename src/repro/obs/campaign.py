@@ -26,6 +26,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional
 
+from ..analysis.stats import nearest_rank
+
 __all__ = [
     "CampaignReport",
     "Rollup",
@@ -35,12 +37,6 @@ __all__ = [
     "render_markdown",
     "rollup_values",
 ]
-
-
-def _nearest_rank(ordered: List[float], pct: float) -> float:
-    """Nearest-rank percentile of an already sorted, non-empty sample."""
-    rank = max(1, int(round(pct / 100.0 * len(ordered) + 0.5)))
-    return ordered[min(rank, len(ordered)) - 1]
 
 
 @dataclass(frozen=True)
@@ -80,8 +76,8 @@ def rollup_values(values: Iterable[float]) -> Optional[Rollup]:
         min=ordered[0],
         max=ordered[-1],
         mean=sum(ordered) / len(ordered),
-        p50=_nearest_rank(ordered, 50.0),
-        p99=_nearest_rank(ordered, 99.0),
+        p50=nearest_rank(ordered, 50.0),
+        p99=nearest_rank(ordered, 99.0),
     )
 
 
@@ -126,6 +122,12 @@ class CampaignReport:
     critical_paths: Dict[str, int] = field(default_factory=dict)
     #: Headline result fields (latency/throughput/...) -> Rollup.
     results: Dict[str, Rollup] = field(default_factory=dict)
+    #: Result fields that appeared in records but never carried a number
+    #: (e.g. an all-hang grid where every ``latency_us`` is ``None``) ->
+    #: explicit reason.  The degraded twin of ``results`` — the same
+    #: convention as ``bench --check``'s skipped-metric lines, so a
+    #: rollup that never ran is reported, not silently absent.
+    skipped: Dict[str, str] = field(default_factory=dict)
     #: Per-point single-line table rows (label, key result fields).
     rows: List[Dict[str, Any]] = field(default_factory=list)
 
@@ -135,6 +137,7 @@ class CampaignReport:
             "name": self.name,
             "points": self.points,
             "results": {k: v.to_dict() for k, v in sorted(self.results.items())},
+            "skipped": dict(sorted(self.skipped.items())),
             "phases": {k: v.to_dict() for k, v in sorted(self.phases.items())},
             "critical_paths": dict(sorted(self.critical_paths.items())),
             "metrics": {k: v.to_dict() for k, v in sorted(self.metrics.items())},
@@ -151,6 +154,15 @@ _RESULT_FIELDS = (
     "availability",
     "recovery_rate",
 )
+
+#: Record keys that explain *why* a result field carries no number, used
+#: to enrich a skipped rollup's reason (``ReconfigResult`` convention:
+#: ``latency_unavailable_reason`` is set exactly when ``latency_us`` is
+#: ``None``).
+_UNAVAILABLE_REASON_KEYS = {
+    "latency_us": "latency_unavailable_reason",
+    "throughput_mb_s": "latency_unavailable_reason",
+}
 
 
 def aggregate_campaign(
@@ -169,6 +181,8 @@ def aggregate_campaign(
     metric_samples: Dict[str, List[float]] = {}
     phase_samples: Dict[str, List[float]] = {}
     result_samples: Dict[str, List[float]] = {}
+    result_seen: Dict[str, int] = {}
+    result_reasons: Dict[str, List[str]] = {}
     for record in records:
         registry = record.get("metrics")
         if registry:
@@ -183,9 +197,16 @@ def aggregate_campaign(
                 report.critical_paths.get(device, 0) + 1
             )
         for key in _RESULT_FIELDS:
-            value = record.get(key)
+            if key not in record:
+                continue
+            result_seen[key] = result_seen.get(key, 0) + 1
+            value = record[key]
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 result_samples.setdefault(key, []).append(float(value))
+            else:
+                reason = record.get(_UNAVAILABLE_REASON_KEYS.get(key, ""))
+                if reason and reason not in result_reasons.setdefault(key, []):
+                    result_reasons[key].append(str(reason))
         row = {"label": record.get("label", f"point{len(report.rows)}")}
         for key in _RESULT_FIELDS:
             if key in record:
@@ -206,6 +227,16 @@ def aggregate_campaign(
         rolled = rollup_values(values)
         if rolled is not None:
             report.results[key] = rolled
+    # A field every record declared but none could quantify (an all-hang
+    # grid's latency) degrades to a skipped rollup with a reason instead
+    # of disappearing from the report.
+    for key, seen in result_seen.items():
+        if key in report.results:
+            continue
+        reason = f"no numeric values in {seen}/{report.points} point(s)"
+        if result_reasons.get(key):
+            reason += ": " + "; ".join(sorted(result_reasons[key]))
+        report.skipped[key] = reason
     return report
 
 
@@ -241,6 +272,8 @@ def render_markdown(report: CampaignReport, metrics_limit: int = 40) -> str:
     ]
     for name, rolled in sorted(report.results.items()):
         lines.append(_rollup_row(name, rolled))
+    for name, reason in sorted(report.skipped.items()):
+        lines.append(f"skipped: {name} ({reason})")
     lines += [
         "",
         "## Firmware phases (µs per reconfiguration)",

@@ -1,0 +1,69 @@
+"""Boundary regression tests for the shared nearest-rank percentile.
+
+The repo briefly shipped two per-module copies computing
+``int(round(pct/100*n + 0.5))``, which banker's-rounds odd integer ranks
+upward — p50 of 6 samples returned rank 4 instead of ``ceil(3.0) = 3``,
+overstating every MTTR/campaign/fleet p50/p99.  These tests lock the
+ceil-rank definition on the n x pct boundary grid so the off-by-one can
+never come back, and assert the helper exists in exactly one module.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import nearest_rank
+
+#: ceil(pct/100 * n) for the grid the regression demands: every rank is
+#: spelled out (not recomputed with ceil) so a helper regression cannot
+#: silently rewrite the expectations.
+EXPECTED_RANKS = {
+    50.0: {1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 6: 3, 7: 4, 8: 4},
+    90.0: {1: 1, 2: 2, 3: 3, 4: 4, 5: 5, 6: 6, 7: 7, 8: 8},
+    99.0: {1: 1, 2: 2, 3: 3, 4: 4, 5: 5, 6: 6, 7: 7, 8: 8},
+}
+
+
+@pytest.mark.parametrize("pct", sorted(EXPECTED_RANKS))
+@pytest.mark.parametrize("n", range(1, 9))
+def test_boundary_grid_matches_ceil_rank(pct, n):
+    # Samples 10, 20, ..., 10*n: value identifies its 1-based rank.
+    sample = [10.0 * (i + 1) for i in range(n)]
+    expected_rank = EXPECTED_RANKS[pct][n]
+    assert nearest_rank(sample, pct) == 10.0 * expected_rank
+
+
+def test_p50_of_six_samples_is_rank_three_not_four():
+    """The headline off-by-one: round(3.5) banker's-rounded to 4."""
+    assert nearest_rank([1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 50.0) == 3.0
+
+
+def test_p99_of_one_hundred_samples_is_rank_ninety_nine():
+    """round(99.5) banker's-rounded to 100; ceil(99.0) is 99."""
+    assert nearest_rank(range(1, 101), 99.0) == 99
+
+
+def test_accepts_unsorted_input_and_returns_observed_sample():
+    sample = [9.0, 1.0, 5.0, 3.0, 7.0]
+    assert nearest_rank(sample, 50.0) == 5.0
+    assert nearest_rank(sample, 99.0) == 9.0
+    assert nearest_rank(sample, 50.0) in sample
+
+
+def test_empty_sample_returns_none_and_low_pct_clamps_to_first():
+    assert nearest_rank([], 50.0) is None
+    assert nearest_rank([4.0, 8.0], 0.0) == 4.0
+    assert nearest_rank([4.0, 8.0], 100.0) == 8.0
+
+
+def test_helper_lives_in_exactly_one_module():
+    """Both previous copies (chaos.soak, obs.campaign) must be gone."""
+    from repro.chaos import soak
+    from repro.obs import campaign
+
+    assert not hasattr(soak, "_nearest_rank")
+    assert not hasattr(campaign, "_nearest_rank")
+    assert soak.nearest_rank is nearest_rank
+    assert campaign.nearest_rank is nearest_rank
+    # And the live definition is ceil-rank, not round(+0.5).
+    assert nearest_rank([1, 2, 3, 4, 5, 6], 50.0) == math.ceil(3.0)

@@ -1,0 +1,51 @@
+"""Tests for the ``repro-pdr fleet`` subcommand."""
+
+import contextlib
+import io
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+def run_cli(argv):
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = main(argv)
+    return code, buffer.getvalue()
+
+
+ARGS = ["fleet", "--boards", "2", "--seed", "1", "--duration-ms", "8"]
+
+
+def test_fleet_reports_slos_and_exits_zero():
+    code, out = run_cli(ARGS)
+    assert code == 0
+    assert "Fleet report" in out
+    assert "latency_us: p50" in out and "p99" in out
+    assert "rejected" in out
+    assert "utilisation" in out
+
+
+def test_fleet_json_out_is_byte_identical_serial_vs_jobs2(tmp_path):
+    first = tmp_path / "serial.json"
+    second = tmp_path / "jobs2.json"
+    code_a, _ = run_cli(ARGS + ["--out", str(first)])
+    code_b, _ = run_cli(ARGS + ["--jobs", "2", "--out", str(second)])
+    assert code_a == code_b == 0
+    assert first.read_bytes() == second.read_bytes()
+    doc = json.loads(first.read_text())
+    assert doc["schema"] == "repro.fleet/v1"
+    assert doc["slos"]["p99_latency_us"] is not None
+
+
+def test_fleet_slo_breach_exits_one(capsys):
+    code, _ = run_cli(ARGS + ["--max-p99-latency-us", "0.001"])
+    assert code == 1
+    assert "SLO breach" in capsys.readouterr().err
+
+
+def test_fleet_cannot_combine_with_other_experiments():
+    with pytest.raises(SystemExit):
+        main(["fleet", "table1"])

@@ -1,0 +1,71 @@
+"""Fleet execution properties: determinism, forking, batching value.
+
+These are the acceptance properties of the fleet service: a campaign is
+a pure function of its spec (replay-stable, byte-identical for any
+worker count, unchanged by snapshot forking), and batching actually
+buys queue-wait reduction rather than just existing.
+"""
+
+from dataclasses import replace
+
+from repro.fleet import FleetSpec, run_fleet
+from repro.fleet.report import render_json
+from repro.snapshot import reset_templates
+
+SPEC = FleetSpec(boards=2, seed=1, duration_ms=10.0)
+
+
+def test_serial_vs_jobs2_byte_identity():
+    serial = render_json(run_fleet(SPEC, jobs=1))
+    parallel = render_json(run_fleet(SPEC, jobs=2))
+    assert serial == parallel
+
+
+def test_replay_stability_across_runs():
+    spec = replace(SPEC, arrival="bursty", seed=4)
+    assert render_json(run_fleet(spec)) == render_json(run_fleet(spec))
+
+
+def test_fork_vs_fresh_boards_byte_identity(monkeypatch):
+    """Snapshot-forked boards are a pure accelerator for the fleet too."""
+    outputs = {}
+    for enabled in ("1", "0"):
+        monkeypatch.setenv("REPRO_SNAPSHOTS", enabled)
+        reset_templates()
+        outputs[enabled] = render_json(run_fleet(SPEC))
+    reset_templates()
+    assert outputs["1"] == outputs["0"]
+
+
+def test_batching_reduces_mean_queue_wait():
+    """ISSUE acceptance: coalescing + SG dispatch measurably cuts wait."""
+    on = run_fleet(replace(SPEC, seed=5, duration_ms=15.0))
+    off = run_fleet(replace(SPEC, seed=5, duration_ms=15.0, batching=False))
+    assert on.slos.mean_wait_us is not None
+    assert off.slos.mean_wait_us is not None
+    assert on.slos.mean_wait_us < off.slos.mean_wait_us
+    # Fewer fabric loads served the same admitted traffic.
+    assert on.loads < on.admitted
+
+
+def test_report_accounts_for_every_request():
+    report = run_fleet(SPEC)
+    assert report.offered == report.admitted + report.rejected
+    assert len(report.outcomes) == report.admitted
+    assert [outcome.index for outcome in report.outcomes] == sorted(
+        outcome.index for outcome in report.outcomes
+    )
+    for outcome in report.outcomes:
+        assert outcome.wait_us >= 0.0
+        assert outcome.latency_us >= outcome.wait_us
+    assert sum(usage.requests for usage in report.boards) == report.admitted
+    for usage in report.boards:
+        assert 0.0 <= usage.utilisation(report.horizon_us) <= 1.0
+
+
+def test_slo_breach_detection():
+    report = run_fleet(SPEC)
+    slos = report.slos
+    assert slos.breaches() == []
+    assert slos.breaches(p99_target_us=0.001)
+    assert slos.breaches(reject_target=-1.0)

@@ -1,0 +1,66 @@
+"""The open-loop workload generator: pure in the seed, well-formed."""
+
+import pytest
+
+from repro.fleet.workload import (
+    ARRIVAL_MODES,
+    FLEET_ASP_KINDS,
+    FLEET_REGIONS,
+    PAD_CLASSES,
+    FleetRequest,
+    build_workload,
+)
+
+
+def test_same_seed_same_stream():
+    assert build_workload(7, 15.0) == build_workload(7, 15.0)
+    assert build_workload(7, 15.0, "bursty") == build_workload(7, 15.0, "bursty")
+
+
+def test_different_seeds_differ():
+    assert build_workload(1, 15.0) != build_workload(2, 15.0)
+
+
+@pytest.mark.parametrize("mode", ARRIVAL_MODES)
+def test_requests_are_indexed_in_arrival_order(mode):
+    requests = build_workload(3, 25.0, mode)
+    assert len(requests) > 10
+    assert [request.index for request in requests] == list(range(len(requests)))
+    arrivals = [request.arrival_us for request in requests]
+    assert arrivals == sorted(arrivals)
+    assert arrivals[-1] <= 25.0 * 1e3
+
+
+@pytest.mark.parametrize("mode", ARRIVAL_MODES)
+def test_request_content_stays_in_palette(mode):
+    for request in build_workload(11, 20.0, mode):
+        assert request.region in FLEET_REGIONS
+        assert request.asp_kind in FLEET_ASP_KINDS
+        assert request.pad_to in PAD_CLASSES
+        assert request.bitstream_key == (
+            request.region,
+            request.asp_kind,
+            request.asp_param,
+            request.pad_to,
+        )
+
+
+def test_hot_set_produces_duplicate_bitstreams():
+    """The popularity skew must leave the scheduler something to batch."""
+    requests = build_workload(1, 30.0)
+    keys = [request.bitstream_key for request in requests]
+    assert len(set(keys)) < len(keys)
+
+
+def test_mapping_round_trip():
+    request = build_workload(1, 10.0)[0]
+    assert FleetRequest.from_mapping(request.to_mapping()) == request
+
+
+def test_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        build_workload(1, 0.0)
+    with pytest.raises(ValueError):
+        build_workload(1, 10.0, "uniform")
+    with pytest.raises(ValueError):
+        build_workload(1, 10.0, rate_per_ms=0.0)

@@ -47,9 +47,10 @@ def test_rollup_values_nearest_rank_percentiles():
     assert rolled.count == 100
     assert rolled.min == 1.0 and rolled.max == 100.0
     assert rolled.mean == pytest.approx(50.5)
-    # Nearest-rank (no interpolation): an actual observed sample.
+    # Nearest-rank (no interpolation): an actual observed sample, at the
+    # ceil rank — p99 of 100 samples is rank ceil(99.0) = 99, not 100.
     assert rolled.p50 == 50.0
-    assert rolled.p99 == 100.0
+    assert rolled.p99 == 99.0
 
 
 def test_rollup_values_rejects_non_numeric_and_empty():
@@ -93,6 +94,41 @@ def test_aggregate_campaign_tolerates_sparse_records():
     assert report.results["latency_us"].count == 1
     assert report.results["availability"].count == 1
     assert report.phases == {} and report.critical_paths == {}
+    assert report.skipped == {}
+
+
+def test_all_none_field_degrades_to_skipped_rollup_with_reason():
+    """An all-hang grid (every latency None) must not raise or vanish."""
+    records = [
+        {
+            "label": f"p{i}",
+            "latency_us": None,
+            "latency_unavailable_reason": "no completion interrupt",
+            "availability": 0.0,
+        }
+        for i in range(3)
+    ]
+    report = aggregate_campaign("all-hang", records)
+    assert "latency_us" not in report.results
+    assert report.skipped["latency_us"] == (
+        "no numeric values in 3/3 point(s): no completion interrupt"
+    )
+    assert report.results["availability"].count == 3
+    # Both serialisations carry the skip (bench --check convention).
+    doc = json.loads(render_json(report))
+    assert doc["skipped"]["latency_us"].startswith("no numeric values")
+    text = render_markdown(report)
+    assert "skipped: latency_us (no numeric values in 3/3 point(s)" in text
+
+
+def test_partially_numeric_field_rolls_up_without_skip():
+    records = [
+        {"latency_us": None, "latency_unavailable_reason": "no completion interrupt"},
+        {"latency_us": 120.0},
+    ]
+    report = aggregate_campaign("mixed", records)
+    assert report.results["latency_us"].count == 1
+    assert report.skipped == {}
 
 
 # -- serialisation determinism -------------------------------------------------
