@@ -1,0 +1,103 @@
+"""Benchmark E15: the bank-aware memory system under contention.
+
+Runs a reduced contention campaign (tenant at 0 and 1000 MB/s, both
+page policies, engine refresh) through the full bank-aware DDR path,
+asserts the memory model's core shape (open-page keeps row locality
+under contention and beats closed-page; contention costs throughput but
+bounded), and records the summary figures to ``BENCH_dram.json`` at the
+repo root — the fourth ``bench --check`` gate.
+"""
+
+import json
+import os
+import time
+
+from repro.exec import SweepRunner
+from repro.experiments.contention import run_contention
+
+from conftest import run_once
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_REPORT_PATH = os.path.join(_REPO_ROOT, "BENCH_dram.json")
+
+_CAMPAIGN = {
+    "rates_mb_s": [0.0, 1000.0],
+    "policies": ["open", "closed"],
+    "region": "RP1",
+    "freq_mhz": 200.0,
+    "temp_c": 40.0,
+}
+
+
+def _run_campaign():
+    t0 = time.perf_counter()
+    records = run_contention(
+        runner=SweepRunner(jobs=1),
+        rates=_CAMPAIGN["rates_mb_s"],
+        policies=_CAMPAIGN["policies"],
+        region=_CAMPAIGN["region"],
+        freq_mhz=_CAMPAIGN["freq_mhz"],
+        temp_c=_CAMPAIGN["temp_c"],
+    )
+    wall_s = time.perf_counter() - t0
+    return records, wall_s
+
+
+def test_bench_dram_contention(benchmark):
+    records, wall_s = run_once(benchmark, _run_campaign)
+
+    by_key = {(r["page_policy"], r["tenant_rate_mb_s"]): r for r in records}
+    open_base = by_key[("open", 0.0)]
+    open_worst = by_key[("open", 1000.0)]
+    closed_worst = by_key[("closed", 1000.0)]
+
+    # The memory model's core shape, even at benchmark scale.
+    assert all(r["succeeded"] for r in records)
+    assert open_base["throughput_mb_s"] > open_worst["throughput_mb_s"]
+    assert open_worst["throughput_mb_s"] > closed_worst["throughput_mb_s"]
+    assert open_worst["row_hit_rate"] > 0.5  # sequential fetch keeps locality
+    assert closed_worst["row_hit_rate"] == 0.0
+    assert open_worst["refreshes_completed"] > 0
+    assert open_worst["queue_wait_ns"] > open_base["queue_wait_ns"]
+
+    summary = {
+        "open_uncontended_mb_s": open_base["throughput_mb_s"],
+        "open_contended_mb_s": open_worst["throughput_mb_s"],
+        "closed_contended_mb_s": closed_worst["throughput_mb_s"],
+        "open_row_hit_rate": open_worst["row_hit_rate"],
+        "contention_slowdown": (
+            open_base["throughput_mb_s"] / open_worst["throughput_mb_s"]
+        ),
+        "open_vs_closed_ratio": (
+            open_worst["throughput_mb_s"] / closed_worst["throughput_mb_s"]
+        ),
+        "kernel_events": sum(r["events"] for r in records),
+    }
+    payload = {
+        "generated_by": "benchmarks/test_bench_dram.py",
+        "host_cpus": os.cpu_count(),
+        "campaign": _CAMPAIGN,
+        "dram_wall_s": round(wall_s, 3),
+        "summary": summary,
+        "points": records,
+    }
+    with open(_REPORT_PATH, "w") as handle:
+        json.dump({**payload, "milestones": _MILESTONES}, handle, indent=2)
+        handle.write("\n")
+
+
+#: Measured once per tentpole change; kept here so the memory-system
+#: history survives report regeneration.
+_MILESTONES = [
+    {
+        "date": "2026-08-08",
+        "change": "bank-aware DDR controller + multi-master crossbar",
+        "host_cpus": 1,
+        "note": (
+            "open-page keeps ~0.8 row-hit rate on the sequential fetch "
+            "under a 1000 MB/s reverse-walking tenant; default "
+            "calibration (tRP=0, lazy refresh) stays byte-identical to "
+            "the legacy flat model across the 6-point grid."
+        ),
+    }
+]

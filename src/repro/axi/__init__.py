@@ -5,6 +5,7 @@ from .interconnect import AxiInterconnect, AxiSlaveError
 from .lite import AxiLiteError, AxiLiteRegisterFile
 from .ports import AxiAcpPort, AxiHpPort
 from .stream import AxiStream, StreamBurst
+from .traffic import TRAFFIC_PATTERNS, AxiTrafficGenerator
 
 __all__ = [
     "AxiAcpPort",
@@ -14,5 +15,7 @@ __all__ = [
     "AxiLiteRegisterFile",
     "AxiSlaveError",
     "AxiStream",
+    "AxiTrafficGenerator",
     "StreamBurst",
+    "TRAFFIC_PATTERNS",
 ]

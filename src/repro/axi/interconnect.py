@@ -1,16 +1,25 @@
-"""AXI memory-mapped interconnect.
+"""AXI memory-mapped crossbar interconnect.
 
-Routes master bursts to the DDR controller, adding the PS interconnect's
-forward latency and arbitrating concurrent masters **round-robin** — so
-when the Fig. 1 framework's four RP data channels and the ICAP DMA all
-pull on the memory system at once, bandwidth is shared fairly instead of
-first-come-starves-the-rest.
+Routes master bursts to the DDR controller.  Each master gets its own
+command lane: a private FIFO drained by a per-master process that pays
+the forward-path latency (address decode + register slices) and then
+issues the burst to the controller tagged with the master's name.  Lanes
+run concurrently — so when the Fig. 1 framework's DMA bitstream fetch,
+CPU traffic, and a second tenant's generator all pull on the memory
+system at once, their forward paths overlap and the *DDR command
+multiplexer* (round-robin, in :class:`repro.dram.BankDramController`)
+becomes the genuine point of contention, with per-master bandwidth
+accounting on both sides.
+
+For a single master this times identically to the previous serialising
+round-robin arbiter: one lane, FIFO order, forward latency then
+controller service.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, Optional
 
 from ..dram import DramController
 from ..obs import MetricsRegistry
@@ -30,8 +39,18 @@ class AxiSlaveError(RuntimeError):
     """
 
 
+class _Lane:
+    """One master's command lane: FIFO queue + wake event."""
+
+    __slots__ = ("queue", "wake")
+
+    def __init__(self):
+        self.queue: Deque[tuple] = deque()
+        self.wake: Optional[Event] = None
+
+
 class AxiInterconnect:
-    """Master-side entry into the PS memory system (round-robin arbiter)."""
+    """Master-side crossbar entry into the PS memory system."""
 
     def __init__(
         self,
@@ -47,19 +66,19 @@ class AxiInterconnect:
         self.controller = controller
         self.forward_latency_ns = forward_latency_ns
         self.name = name
-        self._queues: Dict[str, Deque[tuple]] = {}
-        self._rr_order: List[str] = []
-        self._rr_index = 0
-        self._pending = 0
-        self._wakeup: Event = sim.event(name=f"{name}.wake")
+        self._lanes: Dict[str, _Lane] = {}
         self.transactions = 0
         self.per_master_transactions: Dict[str, int] = {}
+        self.per_master_bytes: Dict[str, int] = {}
+        self.per_master_wait_ns: Dict[str, float] = {}
         self.metrics = metrics if metrics is not None else MetricsRegistry(now_fn=lambda: sim.now)
         self._m_transactions = self.metrics.counter(f"{name}.transactions")
         self._m_bytes = self.metrics.counter(f"{name}.bytes")
         self._m_outstanding = self.metrics.gauge(f"{name}.outstanding_requests")
         self._m_queue_wait_us = self.metrics.histogram(f"{name}.queue_wait_us")
         self._m_error_responses = self.metrics.counter(f"{name}.error_responses")
+        self._m_master_bytes: Dict[str, object] = {}
+        self._m_master_wait: Dict[str, object] = {}
         self._m_outstanding.set(0.0)
         #: Optional fault hooks (installed by :mod:`repro.chaos`).
         #: ``fault_stall_ns()`` adds forward-path latency to the next
@@ -71,7 +90,6 @@ class AxiInterconnect:
         self.fault_error: Optional[
             Callable[[str, int, int], Optional[Exception]]
         ] = None
-        sim.process(self._arbiter(), name=f"{name}.arbiter", daemon=True)
 
     # -- master API ----------------------------------------------------------
     def read(self, addr: int, size: int, master: str = _DEFAULT_MASTER) -> Event:
@@ -87,40 +105,42 @@ class AxiInterconnect:
 
     # -- internals ----------------------------------------------------------
     def _submit(self, master: str, request: tuple) -> None:
-        if master not in self._queues:
-            self._queues[master] = deque()
-            self._rr_order.append(master)
+        lane = self._lanes.get(master)
+        if lane is None:
+            lane = self._lanes[master] = _Lane()
             self.per_master_transactions[master] = 0
-        self._queues[master].append(request)
-        self._pending += 1
+            self.per_master_bytes[master] = 0
+            self.per_master_wait_ns[master] = 0.0
+            self._m_master_bytes[master] = self.metrics.counter(
+                f"{self.name}.master.{master}.bytes"
+            )
+            self._m_master_wait[master] = self.metrics.counter(
+                f"{self.name}.master.{master}.wait_ns"
+            )
+            self.sim.process(
+                self._lane_server(master, lane),
+                name=f"{self.name}.lane.{master}",
+                daemon=True,
+            )
+        lane.queue.append(request)
         self._m_outstanding.add(1)
-        if not self._wakeup.triggered:
-            self._wakeup.succeed()
+        if lane.wake is not None and not lane.wake.triggered:
+            lane.wake.succeed()
 
-    def _next_request(self):
-        """Round-robin pick: resume scanning after the last-served master."""
-        count = len(self._rr_order)
-        for offset in range(count):
-            index = (self._rr_index + offset) % count
-            master = self._rr_order[index]
-            queue = self._queues[master]
-            if queue:
-                self._rr_index = (index + 1) % count
-                self.per_master_transactions[master] += 1
-                return queue.popleft()
-        raise AssertionError("pending count out of sync with queues")
-
-    def _arbiter(self):
+    def _lane_server(self, master: str, lane: _Lane):
         while True:
-            if self._pending == 0:
-                self._wakeup = self.sim.event(name=f"{self.name}.wake")
-                yield self._wakeup
-            kind, addr, size, data, done, submitted_ns = self._next_request()
-            self._pending -= 1
+            if not lane.queue:
+                lane.wake = self.sim.event(name=f"{self.name}.lane.{master}.wake")
+                yield lane.wake
+            kind, addr, size, data, done, submitted_ns = lane.queue.popleft()
+            wait_ns = self.sim.now - submitted_ns
             self.transactions += 1
+            self.per_master_transactions[master] += 1
+            self.per_master_wait_ns[master] += wait_ns
+            self._m_master_wait[master].inc(wait_ns)
             self._m_transactions.inc()
             self._m_bytes.inc(size)
-            self._m_queue_wait_us.observe((self.sim.now - submitted_ns) / 1e3)
+            self._m_queue_wait_us.observe(wait_ns / 1e3)
             # Forward path: address decode + arbitration + register slices.
             stall_ns = 0.0
             if self.fault_stall_ns is not None:
@@ -134,9 +154,11 @@ class AxiInterconnect:
                     self._m_outstanding.add(-1)
                     continue
             if kind == "r":
-                payload = yield self.controller.read(addr, size)
+                payload = yield self.controller.read(addr, size, master=master)
                 done.succeed(payload)
             else:
-                yield self.controller.write(addr, data)
+                yield self.controller.write(addr, data, master=master)
                 done.succeed(None)
+            self.per_master_bytes[master] += size
+            self._m_master_bytes[master].inc(size)
             self._m_outstanding.add(-1)

@@ -1,6 +1,32 @@
-"""DDR3 DRAM device + controller models (the PS memory system)."""
+"""DDR3 DRAM device + controller models (the PS memory system).
 
-from .controller import DramController, MemoryRequest
+Two controllers share one device model and one master-facing API:
+
+* :class:`BankDramController` (default) — bank machines with an
+  open-/closed-page policy, a deterministic refresh engine, and a
+  round-robin command multiplexer over per-master queues.
+* :class:`DramController` (legacy) — the flat-latency FIFO server,
+  kept as the ``REPRO_DRAM=flat`` / ``dram_model="flat"`` kill switch
+  and differential baseline.
+"""
+
+from .bank import (
+    PAGE_POLICIES,
+    REFRESH_MODES,
+    BankDramController,
+    BankTiming,
+)
+from .controller import DramController, MasterLedger, MemoryRequest
 from .device import DdrTiming, DramDevice
 
-__all__ = ["DdrTiming", "DramController", "DramDevice", "MemoryRequest"]
+__all__ = [
+    "BankDramController",
+    "BankTiming",
+    "DdrTiming",
+    "DramController",
+    "DramDevice",
+    "MasterLedger",
+    "MemoryRequest",
+    "PAGE_POLICIES",
+    "REFRESH_MODES",
+]

@@ -9,14 +9,23 @@ them, which is one ingredient of the paper's memory-path bottleneck.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 from ..obs import MetricsRegistry
 from ..sim import Channel, Event, Simulator
 
 from .device import DramDevice
 
-__all__ = ["DramController", "MemoryRequest"]
+__all__ = ["DramController", "MasterLedger", "MemoryRequest"]
+
+
+@dataclass
+class MasterLedger:
+    """Per-master traffic accounting at the DDR controller."""
+
+    requests: int = 0
+    bytes: int = 0
+    wait_ns: float = 0.0
 
 
 @dataclass
@@ -32,6 +41,8 @@ class MemoryRequest:
     done: Optional[Event] = None
     #: Submission time, for queue-wait accounting.
     submitted_ns: float = 0.0
+    #: Issuing master (crossbar routing tag + per-master accounting).
+    master: str = "m0"
 
 
 class DramController:
@@ -52,6 +63,8 @@ class DramController:
         self.bytes_read = 0
         self.bytes_written = 0
         self.busy_ns = 0.0
+        self.queue_wait_ns = 0.0
+        self.masters: Dict[str, "MasterLedger"] = {}
         self._last_refresh_ns = 0.0
         self.metrics = metrics if metrics is not None else MetricsRegistry(now_fn=lambda: sim.now)
         self._m_requests = self.metrics.counter(f"{name}.requests_served")
@@ -59,8 +72,11 @@ class DramController:
         self._m_bytes_written = self.metrics.counter(f"{name}.bytes_written")
         self._m_queue_depth = self.metrics.gauge(f"{name}.queue_depth")
         self._m_queue_wait_us = self.metrics.histogram(f"{name}.queue_wait_us")
+        self._m_queue_wait_ns = self.metrics.counter(f"{name}.queue_wait_ns")
         self._m_service_us = self.metrics.histogram(f"{name}.service_us")
         self._m_queue_depth.set(0.0)
+        #: Optional :class:`repro.verify.InvariantMonitor`.
+        self.monitor = None
         #: Optional fault hooks (installed by :mod:`repro.chaos`).
         #: ``fault_latency_ns(request)`` adds service latency to one
         #: request (a latency spike); ``fault_read_tamper(request, data)``
@@ -74,16 +90,20 @@ class DramController:
         sim.process(self._serve(), name=f"{name}.server", daemon=True)
 
     # -- master-facing API ----------------------------------------------------
-    def read(self, addr: int, size: int) -> Event:
+    def read(self, addr: int, size: int, master: str = "m0") -> Event:
         """Submit a read burst; the event's value is the data bytes."""
         request = MemoryRequest(
-            addr=addr, size=size, done=self.sim.event(), submitted_ns=self.sim.now
+            addr=addr,
+            size=size,
+            done=self.sim.event(),
+            submitted_ns=self.sim.now,
+            master=master,
         )
         self._queue.try_put(request)
         self._m_queue_depth.set(self._queue.level)
         return request.done
 
-    def write(self, addr: int, data: bytes) -> Event:
+    def write(self, addr: int, data: bytes, master: str = "m0") -> Event:
         """Submit a write burst; the event fires when committed."""
         request = MemoryRequest(
             addr=addr,
@@ -92,6 +112,7 @@ class DramController:
             data=data,
             done=self.sim.event(),
             submitted_ns=self.sim.now,
+            master=master,
         )
         self._queue.try_put(request)
         self._m_queue_depth.set(self._queue.level)
@@ -108,7 +129,15 @@ class DramController:
             request = yield self._queue.get()
             started = self.sim.now
             self._m_queue_depth.set(self._queue.level)
-            self._m_queue_wait_us.observe((started - request.submitted_ns) / 1e3)
+            wait_ns = started - request.submitted_ns
+            self.queue_wait_ns += wait_ns
+            self._m_queue_wait_ns.inc(wait_ns)
+            self._m_queue_wait_us.observe(wait_ns / 1e3)
+            ledger = self.masters.get(request.master)
+            if ledger is None:
+                ledger = self.masters[request.master] = MasterLedger()
+            ledger.requests += 1
+            ledger.wait_ns += wait_ns
             # Refresh stalls: one tRFC-ish stall per elapsed tREFI.
             # Refreshes that fell in an idle period already completed and
             # cost nothing; at most one can collide with this request.
@@ -138,6 +167,7 @@ class DramController:
                     )
                 self.bytes_read += request.size
                 self._m_bytes_read.inc(request.size)
+            ledger.bytes += request.size
             self.requests_served += 1
             self._m_requests.inc()
             self.busy_ns += self.sim.now - started

@@ -11,7 +11,7 @@ the paper's measured memory-side bandwidth (see DESIGN.md §5).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 __all__ = ["DdrTiming", "DramDevice"]
 
@@ -55,6 +55,7 @@ class DramDevice:
         self._pages: Dict[int, bytearray] = {}
         self.row_hits = 0
         self.row_misses = 0
+        self.row_conflicts = 0
 
     # -- timing -------------------------------------------------------------
     def access_latency_ns(self, addr: int, size: int) -> float:
@@ -68,6 +69,49 @@ class DramDevice:
         self._open_rows[bank] = row
         self.row_misses += 1
         return self.timing.row_miss_ns
+
+    # -- bank machine -------------------------------------------------------
+    def bank_of(self, addr: int) -> int:
+        return (addr // self.timing.row_bytes) % self.timing.banks
+
+    def row_of(self, addr: int) -> int:
+        return addr // self.timing.row_bytes
+
+    def bank_access(
+        self, addr: int, size: int, policy: str = "open"
+    ) -> Tuple[str, int, int, Optional[int]]:
+        """Classify one burst against per-bank row state (mutating it).
+
+        Returns ``(outcome, bank, row, open_row_before)`` where outcome is
+        ``"hit"`` (row already open), ``"miss"`` (bank idle — ACTIVATE
+        only) or ``"conflict"`` (a different row was open — PRECHARGE then
+        ACTIVATE).  Under the closed-page policy every access auto-
+        precharges, so no row is ever left open and every access is a
+        miss.  The bank-aware controller derives latency from the outcome;
+        this method owns the state so snapshot fork/restore carries
+        bank/row history with the device.
+        """
+        self._bounds(addr, size)
+        row = addr // self.timing.row_bytes
+        bank = row % self.timing.banks
+        open_before = self._open_rows.get(bank)
+        if policy == "closed":
+            self.row_misses += 1
+            self._open_rows.pop(bank, None)
+            return "miss", bank, row, open_before
+        if open_before == row:
+            self.row_hits += 1
+            return "hit", bank, row, open_before
+        self._open_rows[bank] = row
+        if open_before is None:
+            self.row_misses += 1
+            return "miss", bank, row, open_before
+        self.row_conflicts += 1
+        return "conflict", bank, row, open_before
+
+    def open_row(self, bank: int) -> Optional[int]:
+        """Currently open row in ``bank`` (None when precharged)."""
+        return self._open_rows.get(bank)
 
     def transfer_ns(self, size: int) -> float:
         """Pure data time for ``size`` bytes at peak rate."""
@@ -114,15 +158,17 @@ class DramDevice:
             tuple(sorted(self._open_rows.items())),
             self.row_hits,
             self.row_misses,
+            self.row_conflicts,
         )
 
     def restore_state(self, state) -> None:
         """Restore a :meth:`capture_state` result."""
-        pages, open_rows, hits, misses = state
+        pages, open_rows, hits, misses, conflicts = state
         self._pages = {index: bytearray(page) for index, page in pages}
         self._open_rows = dict(open_rows)
         self.row_hits = hits
         self.row_misses = misses
+        self.row_conflicts = conflicts
 
     # -- internals ----------------------------------------------------------
     def _bounds(self, addr: int, size: int) -> None:

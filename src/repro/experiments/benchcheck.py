@@ -1,8 +1,9 @@
 """Perf-regression gate behind ``repro-pdr bench --check``.
 
-The benchmark suite commits its measurements to ``BENCH_sweeps.json`` and
-``BENCH_chaos.json`` at the repo root.  This module re-runs small fresh
-probes of the same workloads and diffs them against those baselines:
+The benchmark suite commits its measurements to the ``BENCH_*.json``
+documents at the repo root (sweeps, chaos, fleet, dram).  This module
+re-runs small fresh probes of the same workloads and diffs them against
+those baselines:
 
 * **simulation metrics** (per-point events, latency, availability,
   recovery rate, MTTR percentiles) are products of the deterministic
@@ -33,6 +34,7 @@ __all__ = [
     "DEFAULT_TOLERANCE",
     "load_baseline",
     "probe_chaos",
+    "probe_dram",
     "probe_fleet",
     "probe_milestone",
     "probe_sweeps",
@@ -52,6 +54,7 @@ BASELINE_FILES = {
     "sweeps": "BENCH_sweeps.json",
     "chaos": "BENCH_chaos.json",
     "fleet": "BENCH_fleet.json",
+    "dram": "BENCH_dram.json",
 }
 
 
@@ -213,6 +216,52 @@ def probe_fleet(campaign: Mapping[str, Any]) -> Dict[str, Any]:
         "rejected_rate": slos["rejected_rate"],
         "failed_rate": slos["failed_rate"],
     }
+
+
+def probe_dram(campaign: Mapping[str, Any]) -> Dict[str, Any]:
+    """Re-run the benchmark contention campaign; memory-system figures.
+
+    A reduced tenant-load grid (the baseline commits which points) at
+    both page policies, summarised into the three numbers the memory
+    system is accountable for: the open-page row-hit rate, the
+    contention slowdown from zero to the heaviest swept tenant load,
+    and the open- vs closed-page throughput ratio under contention.
+    """
+    from ..exec import SweepRunner
+    from .contention import run_contention
+
+    rates = [float(r) for r in campaign.get("rates_mb_s", [0.0, 1000.0])]
+    policies = [str(p) for p in campaign.get("policies", ["open", "closed"])]
+    t0 = time.perf_counter()
+    records = run_contention(
+        runner=SweepRunner(jobs=1),
+        rates=rates,
+        policies=policies,
+        region=str(campaign.get("region", "RP1")),
+        freq_mhz=float(campaign.get("freq_mhz", 200.0)),
+        temp_c=float(campaign.get("temp_c", 40.0)),
+    )
+    wall_s = time.perf_counter() - t0
+    by_key = {(r["page_policy"], r["tenant_rate_mb_s"]): r for r in records}
+    lo, hi = min(rates), max(rates)
+    open_base = by_key[("open", lo)]
+    open_worst = by_key[("open", hi)]
+    closed_worst = by_key[("closed", hi)]
+    fresh: Dict[str, Any] = {
+        "wall_s": wall_s,
+        "open_uncontended_mb_s": open_base["throughput_mb_s"],
+        "open_contended_mb_s": open_worst["throughput_mb_s"],
+        "closed_contended_mb_s": closed_worst["throughput_mb_s"],
+        "open_row_hit_rate": open_worst["row_hit_rate"],
+        "contention_slowdown": (
+            open_base["throughput_mb_s"] / open_worst["throughput_mb_s"]
+        ),
+        "open_vs_closed_ratio": (
+            open_worst["throughput_mb_s"] / closed_worst["throughput_mb_s"]
+        ),
+        "kernel_events": float(sum(r["events"] for r in records)),
+    }
+    return fresh
 
 
 # ---------------------------------------------------------------------------
@@ -411,8 +460,43 @@ def _compare_fleet(
     return checks
 
 
+def _compare_dram(
+    baseline: Mapping[str, Any],
+    fresh: Mapping[str, Any],
+    tolerance: float,
+    wall_tolerance: Optional[float],
+    inject_scale: float,
+    skipped: Optional[List[str]] = None,
+) -> List[Check]:
+    checks: List[Check] = []
+    summary = baseline.get("summary", {})
+    spec = [
+        ("open_uncontended_mb_s", "lower"),
+        ("open_contended_mb_s", "lower"),
+        ("closed_contended_mb_s", "lower"),
+        ("open_row_hit_rate", "lower"),
+        ("contention_slowdown", "higher"),
+        ("open_vs_closed_ratio", "lower"),
+        ("kernel_events", "higher"),
+    ]
+    for metric, worse in spec:
+        _check(
+            checks, "dram", metric, summary.get(metric), fresh.get(metric),
+            tolerance, worse=worse, inject_scale=inject_scale,
+            skipped=skipped,
+        )
+    _check(
+        checks, "dram", "wall_s",
+        baseline.get("dram_wall_s"), fresh.get("wall_s"),
+        wall_tolerance if wall_tolerance is not None else tolerance,
+        worse="higher", advisory=wall_tolerance is None,
+        inject_scale=inject_scale, skipped=skipped,
+    )
+    return checks
+
+
 def run_check(
-    suites: Sequence[str] = ("sweeps", "chaos", "fleet"),
+    suites: Sequence[str] = ("sweeps", "chaos", "fleet", "dram"),
     tolerance: float = DEFAULT_TOLERANCE,
     wall_tolerance: Optional[float] = None,
     inject_scale: float = 1.0,
@@ -461,6 +545,12 @@ def run_check(
         elif suite == "fleet":
             fresh = probe_fleet(baseline.get("campaign", {}))
             checks += _compare_fleet(
+                baseline, fresh, tolerance, wall_tolerance, inject_scale,
+                skipped=skipped,
+            )
+        elif suite == "dram":
+            fresh = probe_dram(baseline.get("campaign", {}))
+            checks += _compare_dram(
                 baseline, fresh, tolerance, wall_tolerance, inject_scale,
                 skipped=skipped,
             )

@@ -324,6 +324,28 @@ def _run_fleet_command(args, runner: SweepRunner) -> int:
     return 1 if breaches else 0
 
 
+def _run_contention_command(args, runner: SweepRunner) -> int:
+    """``repro-pdr contention``: tenant-load × page-policy campaign.
+
+    Runs the E15 grid — second-tenant offered bandwidth × DRAM page
+    policy on the bank-aware memory system — and prints the markdown
+    rollup.  ``--out`` writes the canonical JSON records (byte-identical
+    serial and ``--jobs N``).
+    """
+    from .contention import format_report, render_json, run_contention
+
+    records = run_contention(runner=runner)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(render_json(records))
+        print(
+            f"wrote contention campaign ({len(records)} points) to {args.out}",
+            file=sys.stderr,
+        )
+    print(format_report(records))
+    return 0
+
+
 def _run_bench_command(args) -> int:
     """``repro-pdr bench --check``: the perf-regression gate."""
     from .benchcheck import run_check
@@ -336,7 +358,9 @@ def _run_bench_command(args) -> int:
         )
         return 2
     code, lines = run_check(
-        suites=tuple(args.suite) if args.suite else ("sweeps", "chaos", "fleet"),
+        suites=tuple(args.suite)
+        if args.suite
+        else ("sweeps", "chaos", "fleet", "dram"),
         tolerance=args.tolerance,
         wall_tolerance=args.wall_tolerance,
         inject_scale=args.inject_scale,
@@ -361,12 +385,14 @@ def main(argv=None) -> int:
         "experiments",
         nargs="+",
         choices=sorted(EXPERIMENTS)
-        + ["all", "bench", "chaos", "fleet", "fuzz", "report"],
+        + ["all", "bench", "chaos", "contention", "fleet", "fuzz", "report"],
         help=(
             "which paper artifacts to regenerate; 'fuzz' instead runs the "
             "deterministic scenario fuzzer under the invariant monitor; "
             "'chaos' runs a seeded fault-injection soak campaign graded "
-            "against availability SLOs; 'fleet' drives a multi-board fleet "
+            "against availability SLOs; 'contention' sweeps second-tenant "
+            "memory load × DRAM page policy on the bank-aware memory "
+            "system; 'fleet' drives a multi-board fleet "
             "with open-loop request traffic and reports request-level "
             "SLOs; 'report' aggregates a 56-point "
             "campaign into a telemetry rollup; 'bench --check' diffs "
@@ -605,9 +631,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--suite",
         action="append",
-        choices=["sweeps", "chaos", "fleet"],
+        choices=["sweeps", "chaos", "fleet", "dram"],
         default=None,
-        help="bench: check only this suite (repeatable; default all three)",
+        help="bench: check only this suite (repeatable; default all four)",
     )
     parser.add_argument(
         "--baseline-dir",
@@ -663,6 +689,13 @@ def main(argv=None) -> int:
         if len(args.experiments) != 1:
             parser.error("'report' cannot be combined with other experiments")
         return _run_report_command(args, runner)
+
+    if "contention" in args.experiments:
+        if len(args.experiments) != 1:
+            parser.error(
+                "'contention' cannot be combined with other experiments"
+            )
+        return _run_contention_command(args, runner)
 
     names = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
     with TELEMETRY_BOOK.capture() as book:

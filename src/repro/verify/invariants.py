@@ -39,6 +39,17 @@ governor (:class:`~repro.resilience.FrequencyGovernor`)
     non-positive frequency); the per-(region, temperature-bucket)
     quarantine floor is monotonically non-increasing — learning can
     only tighten the clamp, never relax it.
+dram (:class:`~repro.dram.BankDramController`)
+    Bank-machine protocol: a row-buffer *hit* requires that exact row to
+    have been open (ACTIVATE before any CAS), a *miss* requires the bank
+    precharged, a *conflict* requires a different row open; after the
+    access exactly the accessed row is open under the open-page policy
+    and none under closed-page (never two rows open in one bank).
+    Refresh stalls are non-negative and conserved: the monitor's running
+    sum of observed stalls equals the ``refresh_stall_ns`` counter.  At
+    quiescence the per-master ledger sums to the controller totals
+    (bytes and queue-wait conservation), and in engine refresh mode one
+    refresh has completed for every elapsed tREFI window.
 
 Violations raise :class:`InvariantViolation` by default; the fuzzer runs
 with ``raise_on_violation=False`` and collects them instead, so a broken
@@ -74,6 +85,9 @@ class InvariantMonitor:
         self._metrics_violations = None
         #: (region, temp_bucket) -> lowest quarantine floor ever seen.
         self._clamp_floor: Dict[Tuple[str, int], float] = {}
+        #: id(controller) -> running sum of observed refresh stalls, for
+        #: the stall-conservation check against ``refresh_stall_ns``.
+        self._dram_stall_sum: Dict[int, float] = {}
         self._attached: List[object] = []
 
     # -- lifecycle ----------------------------------------------------------
@@ -83,7 +97,13 @@ class InvariantMonitor:
         metrics = system.metrics
         self._metrics_checks = metrics.counter("verify.checks")
         self._metrics_violations = metrics.counter("verify.violations")
-        for component in (system.sim, system.stream, system.dma, system.icap):
+        for component in (
+            system.sim,
+            system.stream,
+            system.dma,
+            system.icap,
+            system.dram_controller,
+        ):
             component.monitor = self
             self._attached.append(component)
         return self
@@ -240,6 +260,94 @@ class InvariantMonitor:
                 f"{controller.name}: busy and done asserted simultaneously",
             )
 
+    # -- DRAM bank machines ---------------------------------------------------------
+    def on_dram_access(
+        self, controller, request, bank: int, row: int,
+        outcome: str, open_before, stall_ns: float,
+    ) -> None:
+        """Called by ``BankDramController`` for every classified access."""
+        self._count(4)
+        name = controller.name
+        if outcome == "hit" and open_before != row:
+            self.violate(
+                "dram.activate_before_cas",
+                f"{name}: bank {bank} row {row} read as a hit but the open "
+                f"row was {open_before}",
+            )
+        elif outcome == "miss" and open_before is not None:
+            if controller.page_policy != "closed":
+                self.violate(
+                    "dram.miss_requires_precharged",
+                    f"{name}: bank {bank} classified miss with row "
+                    f"{open_before} still open",
+                )
+        elif outcome == "conflict" and open_before in (None, row):
+            self.violate(
+                "dram.conflict_requires_other_row",
+                f"{name}: bank {bank} classified conflict but the open row "
+                f"was {open_before} (target {row})",
+            )
+        open_after = controller.device.open_row(bank)
+        if controller.page_policy == "closed":
+            if open_after is not None:
+                self.violate(
+                    "dram.closed_page_precharge",
+                    f"{name}: bank {bank} row {open_after} left open under "
+                    f"the closed-page policy",
+                )
+        elif open_after != row:
+            self.violate(
+                "dram.single_open_row",
+                f"{name}: bank {bank} open row is {open_after} immediately "
+                f"after accessing row {row}",
+            )
+        if stall_ns < 0:
+            self.violate(
+                "dram.refresh_stall_sign",
+                f"{name}: negative refresh stall {stall_ns} ns",
+            )
+        total = self._dram_stall_sum.get(id(controller), 0.0) + stall_ns
+        self._dram_stall_sum[id(controller)] = total
+        if abs(total - controller.refresh_stall_ns) > 1e-6:
+            self.violate(
+                "dram.refresh_stall_conservation",
+                f"{name}: observed stalls sum to {total} ns but the "
+                f"refresh_stall_ns counter reads {controller.refresh_stall_ns}",
+            )
+
+    def check_dram_quiescent(self, controller, now_ns: float) -> None:
+        """Ledger + refresh-coverage conservation on an idle controller."""
+        ledgers = getattr(controller, "masters", None)
+        if ledgers is None:
+            return
+        self._count(2)
+        ledger_bytes = sum(ledger.bytes for ledger in ledgers.values())
+        moved = controller.bytes_read + controller.bytes_written
+        if ledger_bytes != moved:
+            self.violate(
+                "dram.master_ledger_conservation",
+                f"{controller.name}: per-master ledgers sum to "
+                f"{ledger_bytes} bytes but the controller moved {moved}",
+            )
+        ledger_wait = sum(ledger.wait_ns for ledger in ledgers.values())
+        if abs(ledger_wait - controller.queue_wait_ns) > 1e-6:
+            self.violate(
+                "dram.queue_wait_conservation",
+                f"{controller.name}: per-master waits sum to {ledger_wait} "
+                f"ns but queue_wait_ns reads {controller.queue_wait_ns}",
+            )
+        if getattr(controller, "refresh_mode", None) == "engine":
+            self._count()
+            controller.sync_refresh(now_ns)
+            due = int(now_ns // controller.timing.trefi_ns)
+            if controller.refreshes_completed != due:
+                self.violate(
+                    "dram.refresh_every_trefi",
+                    f"{controller.name}: {controller.refreshes_completed} "
+                    f"refreshes completed by {now_ns} ns but {due} tREFI "
+                    f"window(s) have elapsed",
+                )
+
     # -- system-level post-conditions ---------------------------------------------
     def check_result(self, system, region: str, asp, result) -> None:
         """Post-conditions of one completed reconfiguration attempt."""
@@ -280,6 +388,7 @@ class InvariantMonitor:
                 f"{stream.fifo_words - stream.free_words} word(s) left "
                 f"in the FIFO between transfers",
             )
+        self.check_dram_quiescent(system.dram_controller, system.sim.now)
         self.check_kernel_quiescent(system.sim)
 
     # -- resilience governor ---------------------------------------------------------

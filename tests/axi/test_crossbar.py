@@ -1,0 +1,190 @@
+"""Tests for the multi-master AXI crossbar.
+
+The interconnect used to serialise all masters through one arbiter
+process; it is now a crossbar — per-master command lanes whose forward
+paths overlap, pushing the genuine contention point down into the DDR
+command multiplexer.  These tests pin the per-master accounting, the
+lane overlap, backward compatibility for single-master timing, and the
+fault hooks.
+"""
+
+import pytest
+
+from repro.axi import AxiInterconnect, AxiSlaveError, AxiTrafficGenerator
+from repro.dram import BankDramController, DramDevice
+from repro.sim import Simulator
+
+
+def _fabric(forward_latency_ns=160.0):
+    sim = Simulator()
+    controller = BankDramController(sim, DramDevice(), refresh_mode="off")
+    interconnect = AxiInterconnect(
+        sim, controller, forward_latency_ns=forward_latency_ns
+    )
+    return sim, controller, interconnect
+
+
+def test_single_master_times_like_a_serial_arbiter():
+    sim, controller, interconnect = _fabric()
+    done_at = {}
+
+    def driver(sim):
+        yield interconnect.read(0, 64)
+        done_at["ns"] = sim.now
+
+    sim.process(driver(sim))
+    sim.run()
+    expected = (
+        interconnect.forward_latency_ns
+        + controller.timing.miss_ns
+        + controller.device.transfer_ns(64)
+    )
+    assert done_at["ns"] == pytest.approx(expected)
+
+
+def test_forward_paths_overlap_across_masters():
+    """Two masters submitting at t=0 must both clear their forward path
+    concurrently: total completion < 2x the serialised time."""
+    sim, controller, interconnect = _fabric(forward_latency_ns=1000.0)
+    finished = {}
+
+    def driver(sim, name):
+        yield interconnect.read(0, 64, master=name)
+        finished[name] = sim.now
+
+    sim.process(driver(sim, "a"))
+    sim.process(driver(sim, "b"))
+    sim.run()
+    service = controller.timing.miss_ns + controller.device.transfer_ns(64)
+    hit_service = controller.timing.hit_ns + controller.device.transfer_ns(64)
+    # First completion: one forward latency + one service.
+    assert min(finished.values()) == pytest.approx(1000.0 + service)
+    # Second: its forward path overlapped the first's entirely; it only
+    # queued behind the first *service* (same row by then: a hit).
+    assert max(finished.values()) == pytest.approx(1000.0 + service + hit_service)
+
+
+def test_per_master_accounting_totals():
+    sim, controller, interconnect = _fabric()
+
+    def driver(sim, name, count, size):
+        for index in range(count):
+            yield interconnect.read(index * size, size, master=name)
+
+    sim.process(driver(sim, "hp0", 4, 1024))
+    sim.process(driver(sim, "cpu", 2, 64))
+    sim.run()
+    assert interconnect.per_master_transactions == {"hp0": 4, "cpu": 2}
+    assert interconnect.per_master_bytes == {"hp0": 4096, "cpu": 128}
+    assert interconnect.transactions == 6
+    snapshot = interconnect.metrics.to_dict()
+    assert snapshot["axi_ic.master.hp0.bytes"]["value"] == 4096
+    assert snapshot["axi_ic.master.cpu.bytes"]["value"] == 128
+    # The crossbar lanes never queue a solo-stream master; the DDR
+    # multiplexer's ledger shows where the real waiting happened.
+    assert interconnect.per_master_wait_ns["hp0"] == 0.0
+    assert controller.masters["hp0"].bytes == 4096
+    assert controller.masters["cpu"].bytes == 128
+
+
+def test_fault_error_fails_only_the_faulted_master():
+    sim, controller, interconnect = _fabric()
+    interconnect.fault_error = (
+        lambda kind, addr, size: AxiSlaveError("slverr") if addr >= 0x1000 else None
+    )
+    outcomes = {}
+
+    def driver(sim, name, addr):
+        try:
+            yield interconnect.read(addr, 64, master=name)
+            outcomes[name] = "ok"
+        except AxiSlaveError:
+            outcomes[name] = "slverr"
+
+    sim.process(driver(sim, "good", 0x0))
+    sim.process(driver(sim, "bad", 0x2000))
+    sim.run()
+    assert outcomes == {"good": "ok", "bad": "slverr"}
+    assert interconnect.metrics.to_dict()["axi_ic.error_responses"]["value"] == 1
+    # The faulted transaction never reached the DDR controller.
+    assert "bad" not in controller.masters
+
+
+def test_fault_stall_delays_transaction():
+    sim, controller, interconnect = _fabric()
+    interconnect.fault_stall_ns = lambda: 5000.0
+    done_at = {}
+
+    def driver(sim):
+        yield interconnect.read(0, 64)
+        done_at["ns"] = sim.now
+
+    sim.process(driver(sim))
+    sim.run()
+    base = (
+        interconnect.forward_latency_ns
+        + controller.timing.miss_ns
+        + controller.device.transfer_ns(64)
+    )
+    assert done_at["ns"] == pytest.approx(base + 5000.0)
+
+
+# ---------------------------------------------------------------- traffic --
+def test_traffic_generator_is_deterministic():
+    def run():
+        sim, controller, interconnect = _fabric()
+        generator = AxiTrafficGenerator(
+            sim, interconnect, rate_mb_s=800.0, pattern="random", seed=9
+        )
+        generator.start()
+
+        def horizon(sim):
+            yield sim.timeout(200_000.0)
+            generator.stop()
+
+        sim.process(horizon(sim))
+        sim.run()
+        return generator.bursts_issued, generator.bytes_moved, sim.now
+
+    assert run() == run()
+
+
+@pytest.mark.parametrize("pattern", ["sequential", "reverse", "strided", "random"])
+def test_traffic_patterns_stay_in_window(pattern):
+    sim, controller, interconnect = _fabric()
+    base, span = 0x1800_0000, 4 * 1024 * 1024
+    generator = AxiTrafficGenerator(
+        sim, interconnect, rate_mb_s=2000.0, pattern=pattern,
+        base_addr=base, span_bytes=span,
+    )
+    for _ in range(1000):
+        addr = generator._next_addr()
+        assert base <= addr <= base + span - generator.burst_bytes
+        generator.bursts_issued += 1
+
+
+def test_traffic_generator_achieves_offered_rate_when_uncontended():
+    sim, controller, interconnect = _fabric()
+    generator = AxiTrafficGenerator(
+        sim, interconnect, rate_mb_s=500.0, pattern="sequential"
+    )
+    generator.start()
+
+    def horizon(sim):
+        yield sim.timeout(1_000_000.0)  # 1 ms
+        generator.stop()
+
+    sim.process(horizon(sim))
+    sim.run()
+    achieved_mb_s = generator.bytes_moved / 1_000_000.0 * 1e3
+    assert achieved_mb_s == pytest.approx(500.0, rel=0.05)
+
+
+def test_traffic_generator_validates_arguments():
+    sim, controller, interconnect = _fabric()
+    with pytest.raises(ValueError):
+        AxiTrafficGenerator(sim, interconnect, pattern="brownian")
+    with pytest.raises(ValueError):
+        AxiTrafficGenerator(sim, interconnect, rate_mb_s=-1.0)
+    with pytest.raises(ValueError):
+        AxiTrafficGenerator(sim, interconnect, write_fraction=1.5)

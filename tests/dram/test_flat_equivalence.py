@@ -1,0 +1,127 @@
+"""Differential regression suite: bank model vs the legacy flat model.
+
+The bank-aware controller, degenerated to the flat model's assumptions —
+one master, closed-page policy (no row state), refresh disabled, and
+hit == miss latency (tRCD = 0) — must reproduce the legacy flat-latency
+campaign byte-identically over a 6-point grid.  This pins the refactor's
+backward compatibility: any timing drift in the bank machines, the
+command multiplexer, or the crossbar shows up as a diff here.
+
+``REPRO_DRAM=flat`` remains the kill switch back to the legacy
+controller; this suite exercises it too.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core import PdrSystem, PdrSystemConfig
+from repro.dram import BankDramController, DramController
+from repro.experiments.points import asp_descriptor, campaign_point
+from repro.experiments.table1 import WORKLOAD_ASP
+from repro.snapshot import reset_templates
+
+#: The differential grid: 2 regions x 3 frequencies (the snapshot-smoke
+#: grid, reused so fork/fresh and bank/flat pin the same points).
+GRID = [
+    dict(region=region, freq_mhz=freq, temp_c=40.0)
+    for region in ("RP1", "RP2")
+    for freq in (100.0, 200.0, 320.0)
+]
+
+#: Degenerate knobs under which bank and flat models must be equivalent:
+#: closed-page kills row state, tRCD=0 makes hit == miss == tCAS, and
+#: refresh off removes the only other time-dependent term.
+DEGENERATE = dict(
+    dram_page_policy="closed",
+    dram_refresh_mode="off",
+    dram_trcd_ns=0.0,
+    dram_trp_ns=0.0,
+)
+
+#: Keys stripped before comparison: both carry implementation identity,
+#: not physics.  The bank controller registers extra probes (row_hits,
+#: refresh counters, per-master ledgers) so the metrics snapshots name
+#: different series, and its deque+wake queue schedules a slightly
+#: different kernel event count than the legacy Channel — while every
+#: timed observable (latency, throughput, power, phases, critical path)
+#: must match to the byte.
+VOLATILE_KEYS = ("metrics", "events")
+
+
+@pytest.fixture(autouse=True)
+def _clean_templates():
+    reset_templates()
+    yield
+    reset_templates()
+
+
+def _campaign(config):
+    workload = asp_descriptor(WORKLOAD_ASP)
+    records = []
+    for point in GRID:
+        record = campaign_point(workload=workload, config=config, **point)
+        for key in VOLATILE_KEYS:
+            record.pop(key)
+        records.append(record)
+    return json.dumps(records, sort_keys=True)
+
+
+def test_degenerate_bank_model_reproduces_flat_campaign_byte_identically():
+    bank = _campaign(dict(DEGENERATE, dram_model="bank"))
+    flat = _campaign(dict(DEGENERATE, dram_model="flat"))
+    assert bank == flat
+
+
+def test_default_bank_calibration_matches_flat_timing():
+    """Default knobs (open page, lazy refresh, tRP=0) are calibrated to
+    the legacy lumped timings, so even the *non*-degenerate default must
+    time identically to the flat model for the single-master campaign."""
+    bank = _campaign(dict(dram_model="bank"))
+    flat = _campaign(dict(dram_model="flat"))
+    assert bank == flat
+
+
+def test_env_kill_switch_selects_legacy_controller(monkeypatch):
+    monkeypatch.setenv("REPRO_DRAM", "flat")
+    assert isinstance(PdrSystem().dram_controller, DramController)
+    monkeypatch.delenv("REPRO_DRAM")
+    assert isinstance(PdrSystem().dram_controller, BankDramController)
+
+
+def test_env_kill_switch_overrides_config(monkeypatch):
+    monkeypatch.setenv("REPRO_DRAM", "flat")
+    system = PdrSystem(PdrSystemConfig(dram_model="bank"))
+    assert isinstance(system.dram_controller, DramController)
+    assert system.dram_model == "flat"
+
+
+def test_env_kill_switch_campaign_matches_default(monkeypatch):
+    """The kill switch flips only the controller implementation — the
+    legacy campaign observables match the default bank model's."""
+    monkeypatch.delenv("REPRO_DRAM", raising=False)
+    default = _campaign(None)
+    monkeypatch.setenv("REPRO_DRAM", "flat")
+    reset_templates()
+    flat = _campaign(None)
+    assert default == flat
+
+
+def test_rejects_unknown_model(monkeypatch):
+    monkeypatch.setenv("REPRO_DRAM", "quantum")
+    with pytest.raises(ValueError):
+        PdrSystem()
+
+
+def test_env_overrides_refresh_mode(monkeypatch):
+    """``REPRO_DRAM_REFRESH`` flips refresh accounting without touching
+    the config — the hook for A/B soak runs over campaigns that build
+    their ``PdrSystemConfig`` internally."""
+    monkeypatch.setenv("REPRO_DRAM_REFRESH", "engine")
+    assert PdrSystem().dram_controller.refresh_mode == "engine"
+    monkeypatch.setenv("REPRO_DRAM_REFRESH", "sometimes")
+    with pytest.raises(ValueError):
+        PdrSystem()
+    monkeypatch.delenv("REPRO_DRAM_REFRESH")
+    assert PdrSystem().dram_controller.refresh_mode == "lazy"

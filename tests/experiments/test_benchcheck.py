@@ -148,11 +148,24 @@ def test_run_check_corrupt_baseline_exits_two(tmp_path):
 
 
 def test_load_baseline_reads_committed_files():
-    # The repo ships both baselines; the default root must resolve them.
+    # The repo ships all four baselines; the default root resolves them.
     doc = load_baseline("sweeps")
     assert "runs" in doc
     doc = load_baseline("chaos")
     assert "availability" in doc
+    doc = load_baseline("dram")
+    assert "summary" in doc
+
+
+def test_dram_baseline_gates_against_fresh_probe(tmp_path):
+    """The dram suite end-to-end: a fresh reduced probe must match the
+    committed summary within tolerance, and the inject-scale self-test
+    must trip the gate."""
+    code, lines = run_check(suites=("dram",))
+    assert code == 0, lines
+    assert any(line.startswith("dram.open_row_hit_rate") for line in lines)
+    code, _ = run_check(suites=("dram",), inject_scale=2.0)
+    assert code == 1
 
 
 def test_probe_sweeps_matches_committed_baseline_shape():
