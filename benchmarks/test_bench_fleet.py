@@ -1,10 +1,14 @@
-"""Benchmark E14: the fleet-scale PDR service.
+"""Benchmark E14/E16: the fleet-scale PDR service, calm and under chaos.
 
 Runs a small seeded fleet campaign (4 boards, Poisson arrivals),
 asserts the fleet layer's core guarantees (every request accounted for,
-no scrub failures, batching active), and records wall-clock plus the
-request-level SLO figures to ``BENCH_fleet.json`` at the repo root so
-future PRs can see both the perf and the service-quality curve.
+no scrub failures, batching active), then reruns the fleet under a
+board-kill chaos storm (E16) and asserts the health/failover layer's
+guarantees: request conservation, failover activity, and a quarantined
+board rejoining through its half-open circuit-breaker probe.  Records
+wall-clock plus both the calm and degraded-mode SLO figures to
+``BENCH_fleet.json`` at the repo root so future PRs can see the perf,
+service-quality and fault-tolerance curves together.
 """
 
 import json
@@ -19,6 +23,18 @@ _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 _REPORT_PATH = os.path.join(_REPO_ROOT, "BENCH_fleet.json")
 
 _SPEC = FleetSpec(boards=4, seed=1, duration_ms=20.0)
+
+#: Seed 17 is the demonstration campaign from EXPERIMENTS E16: one board
+#: dies permanently mid-run and another quarantines on consecutive
+#: deadline breaches, then rejoins via a successful half-open probe.
+_CHAOS_SPEC = FleetSpec(
+    boards=4,
+    seed=17,
+    duration_ms=14.0,
+    chaos=True,
+    chaos_intensity=6,
+    kill_boards=1,
+)
 
 
 def _run_campaign():
@@ -37,6 +53,25 @@ def test_bench_fleet_service(benchmark):
     assert report.slos.failed_rate == 0.0
     assert report.coalesced > 0  # the hot set actually coalesced
     assert report.slos.p99_latency_us is not None
+
+    t0 = time.perf_counter()
+    chaos_report = run_fleet(_CHAOS_SPEC)
+    chaos_wall_s = time.perf_counter() - t0
+
+    # The health/failover layer's guarantees: conservation under board
+    # loss, actual failover traffic, and a breaker-probe rejoin.
+    assert chaos_report.offered == chaos_report.admitted + chaos_report.rejected
+    assert len(chaos_report.outcomes) == chaos_report.admitted
+    assert chaos_report.slos.failovers > 0
+    assert chaos_report.rounds > 1
+    states = {entry["state"] for entry in chaos_report.health}
+    assert "dead" in states  # the scheduled board kill landed
+    reasons = {
+        event["reason"]
+        for entry in chaos_report.health
+        for event in entry["events"]
+    }
+    assert "probe_ok_rejoined" in reasons  # quarantine → half-open → rejoin
 
     payload = {
         "generated_by": "benchmarks/test_bench_fleet.py",
@@ -57,6 +92,14 @@ def test_bench_fleet_service(benchmark):
             f"board{usage.board}": usage.utilisation(report.horizon_us)
             for usage in report.boards
         },
+        "chaos_campaign": _CHAOS_SPEC.to_mapping(),
+        "fleet_chaos_wall_s": round(chaos_wall_s, 3),
+        "chaos_rounds": chaos_report.rounds,
+        "chaos_slos": chaos_report.slos.to_mapping(),
+        "chaos_board_states": {
+            f"board{entry['board']}": entry["state"]
+            for entry in chaos_report.health
+        },
     }
     with open(_REPORT_PATH, "w") as handle:
         json.dump({**payload, "milestones": _MILESTONES}, handle, indent=2)
@@ -75,5 +118,16 @@ _MILESTONES = [
             "report byte-identical across reruns and --jobs 2; batching "
             "cuts mean queue wait ~4x vs --no-batching at 2 req/ms."
         ),
-    }
+    },
+    {
+        "date": "2026-08-08",
+        "change": "fleet health/failover layer (chaos, board kill, breaker)",
+        "host_cpus": 1,
+        "note": (
+            "seed-17 board-kill campaign: 1 of 4 boards dies mid-run, "
+            "one quarantines then rejoins via half-open probe; zero "
+            "lost requests, availability held at 1.0 by the retry "
+            "budget, degradation shows in p99/goodput/failover penalty."
+        ),
+    },
 ]

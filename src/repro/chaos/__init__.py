@@ -7,7 +7,15 @@
 and grades availability / recovery-rate / MTTR against SLO floors.
 """
 
-from .faults import ENVIRONMENT_KINDS, FAULT_KINDS, Fault, FaultPlan, build_fault_plan
+from .faults import (
+    BOARD_KILL_KIND,
+    ENVIRONMENT_KINDS,
+    FAULT_KINDS,
+    Fault,
+    FaultPlan,
+    build_board_fault_plan,
+    build_fault_plan,
+)
 from .injector import ChaosInjector
 from .soak import (
     SoakCase,
@@ -20,11 +28,13 @@ from .soak import (
 )
 
 __all__ = [
+    "BOARD_KILL_KIND",
     "ENVIRONMENT_KINDS",
     "FAULT_KINDS",
     "Fault",
     "FaultPlan",
     "ChaosInjector",
+    "build_board_fault_plan",
     "SoakCase",
     "SoakCaseGenerator",
     "SoakReport",

@@ -36,6 +36,7 @@ __all__ = [
     "probe_chaos",
     "probe_dram",
     "probe_fleet",
+    "probe_fleet_chaos",
     "probe_milestone",
     "probe_sweeps",
     "run_check",
@@ -215,6 +216,34 @@ def probe_fleet(campaign: Mapping[str, Any]) -> Dict[str, Any]:
         "mean_wait_us": slos["mean_wait_us"],
         "rejected_rate": slos["rejected_rate"],
         "failed_rate": slos["failed_rate"],
+    }
+
+
+def probe_fleet_chaos(campaign: Mapping[str, Any]) -> Dict[str, Any]:
+    """Re-run the degraded-fleet campaign; board-loss SLO figures.
+
+    The chaos campaign exercises the health/failover layer (board kill,
+    quarantine, circuit-breaker rejoin), so the graded metrics are the
+    degraded-mode SLOs: availability under board loss, goodput, the
+    failover latency penalty and the exhausted-request rate.
+    """
+    from ..fleet import FleetSpec, run_fleet
+
+    known = {f.name for f in fields(FleetSpec)}
+    spec = FleetSpec(**{k: v for k, v in campaign.items() if k in known})
+    t0 = time.perf_counter()
+    report = run_fleet(spec)
+    wall_s = time.perf_counter() - t0
+    slos = report.slos.to_mapping()
+    return {
+        "wall_s": wall_s,
+        "availability": slos["availability"],
+        "goodput_per_ms": slos["goodput_per_ms"],
+        "failover_latency_penalty_us": slos["failover_latency_penalty_us"],
+        "exhausted_rate": slos["exhausted_rate"],
+        "failovers": float(slos["failovers"]),
+        "p99_latency_us": slos["p99_latency_us"],
+        "rounds": float(report.rounds),
     }
 
 
@@ -460,6 +489,54 @@ def _compare_fleet(
     return checks
 
 
+def _compare_fleet_chaos(
+    baseline: Mapping[str, Any],
+    fresh: Mapping[str, Any],
+    tolerance: float,
+    wall_tolerance: Optional[float],
+    inject_scale: float,
+    skipped: Optional[List[str]] = None,
+) -> List[Check]:
+    checks: List[Check] = []
+    slos = baseline.get("chaos_slos", {})
+    spec = [
+        ("chaos_availability", slos.get("availability"), "lower"),
+        ("chaos_goodput_per_ms", slos.get("goodput_per_ms"), "lower"),
+        (
+            "chaos_failover_latency_penalty_us",
+            slos.get("failover_latency_penalty_us"),
+            "higher",
+        ),
+        ("chaos_exhausted_rate", slos.get("exhausted_rate"), "higher"),
+        ("chaos_failovers", slos.get("failovers"), "higher"),
+        ("chaos_p99_latency_us", slos.get("p99_latency_us"), "higher"),
+        ("chaos_rounds", baseline.get("chaos_rounds"), "higher"),
+    ]
+    fresh_keys = {
+        "chaos_availability": "availability",
+        "chaos_goodput_per_ms": "goodput_per_ms",
+        "chaos_failover_latency_penalty_us": "failover_latency_penalty_us",
+        "chaos_exhausted_rate": "exhausted_rate",
+        "chaos_failovers": "failovers",
+        "chaos_p99_latency_us": "p99_latency_us",
+        "chaos_rounds": "rounds",
+    }
+    for metric, base_value, worse in spec:
+        _check(
+            checks, "fleet", metric, base_value,
+            fresh.get(fresh_keys[metric]), tolerance, worse=worse,
+            inject_scale=inject_scale, skipped=skipped,
+        )
+    _check(
+        checks, "fleet", "chaos_wall_s",
+        baseline.get("fleet_chaos_wall_s"), fresh.get("wall_s"),
+        wall_tolerance if wall_tolerance is not None else tolerance,
+        worse="higher", advisory=wall_tolerance is None,
+        inject_scale=inject_scale, skipped=skipped,
+    )
+    return checks
+
+
 def _compare_dram(
     baseline: Mapping[str, Any],
     fresh: Mapping[str, Any],
@@ -548,6 +625,15 @@ def run_check(
                 baseline, fresh, tolerance, wall_tolerance, inject_scale,
                 skipped=skipped,
             )
+            # Baselines that predate the health/failover layer carry no
+            # chaos campaign; the degraded-mode gate simply doesn't run.
+            chaos_campaign = baseline.get("chaos_campaign")
+            if chaos_campaign:
+                chaos_fresh = probe_fleet_chaos(chaos_campaign)
+                checks += _compare_fleet_chaos(
+                    baseline, chaos_fresh, tolerance, wall_tolerance,
+                    inject_scale, skipped=skipped,
+                )
         elif suite == "dram":
             fresh = probe_dram(baseline.get("campaign", {}))
             checks += _compare_dram(

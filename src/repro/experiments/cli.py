@@ -120,7 +120,7 @@ EXPERIMENTS: Dict[str, Callable[[SweepRunner], str]] = {
 }
 
 
-def _report_unhandled(prefix: str, unhandled) -> None:
+def _report_unhandled(prefix: str, unhandled, noun: str = "case") -> None:
     """Surface processes that died with unhandled exceptions."""
     print(
         f"[{prefix}] {len(unhandled)} simulation process(es) died with "
@@ -128,7 +128,7 @@ def _report_unhandled(prefix: str, unhandled) -> None:
         file=sys.stderr,
     )
     for index, name in unhandled:
-        print(f"[{prefix}]   case {index}: {name}", file=sys.stderr)
+        print(f"[{prefix}]   {noun} {index}: {name}", file=sys.stderr)
 
 
 def _run_fuzz_command(args) -> int:
@@ -294,6 +294,13 @@ def _run_fleet_command(args, runner: SweepRunner) -> int:
     sweep engine (serial ≡ ``--jobs N`` byte-identical) and prints the
     request-level SLO report.  ``--out`` writes the canonical JSON form;
     exit status 1 when a ``--max-*`` SLO target is breached.
+
+    ``--chaos`` arms a per-board fault storm (``--chaos-intensity``,
+    ``--kill-boards``, same ``--seed`` discipline) and routes execution
+    through the health/failover control plane; availability is then
+    graded against ``--min-availability``.  ``--verify`` attaches the
+    invariant monitor to every board; any violation fails the run, as
+    does (by default) an unhandled dead simulation process.
     """
     from ..fleet import FleetSpec, format_report, render_json, run_fleet
 
@@ -305,6 +312,10 @@ def _run_fleet_command(args, runner: SweepRunner) -> int:
         rate_per_ms=args.rate,
         queue_depth=args.queue_depth,
         batching=not args.no_batching,
+        chaos=args.chaos,
+        chaos_intensity=args.chaos_intensity,
+        kill_boards=args.kill_boards,
+        verify=args.verify,
     )
     report = run_fleet(spec, runner=runner)
     if args.out:
@@ -318,10 +329,27 @@ def _run_fleet_command(args, runner: SweepRunner) -> int:
     breaches = report.slos.breaches(
         p99_target_us=args.max_p99_latency_us,
         reject_target=args.max_rejected_rate,
+        availability_target=args.min_availability if args.chaos else None,
     )
     for breach in breaches:
         print(f"SLO breach: {breach}", file=sys.stderr)
-    return 1 if breaches else 0
+    failed = bool(breaches)
+    if report.verify is not None and report.verify["violations"]:
+        for violation in report.verify["violations"]:
+            print(f"invariant violation: {violation}", file=sys.stderr)
+        failed = True
+    if report.unhandled and args.fail_on_unhandled:
+        _report_unhandled(
+            "fleet",
+            [
+                (entry["board"], name)
+                for entry in report.unhandled
+                for name in entry["processes"]
+            ],
+            noun="board",
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 def _run_contention_command(args, runner: SweepRunner) -> int:
@@ -457,7 +485,11 @@ def main(argv=None) -> int:
         type=float,
         default=0.70,
         metavar="FRAC",
-        help="chaos: SLO floor on campaign-mean availability (default 0.70)",
+        help=(
+            "chaos: SLO floor on campaign-mean availability; "
+            "fleet --chaos: SLO floor on request availability "
+            "(default 0.70)"
+        ),
     )
     parser.add_argument(
         "--min-recovery",
@@ -534,6 +566,40 @@ def main(argv=None) -> int:
         default=None,
         metavar="FRAC",
         help="fleet: SLO ceiling on the rejected-request rate (exit 1 on breach)",
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help=(
+            "fleet: arm a seed-deterministic fault storm under every "
+            "board and execute through the resilience layer (health "
+            "state machine + request failover)"
+        ),
+    )
+    parser.add_argument(
+        "--chaos-intensity",
+        type=int,
+        default=4,
+        metavar="N",
+        help="fleet: environmental faults per board in the storm (default 4)",
+    )
+    parser.add_argument(
+        "--kill-boards",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "fleet: boards killed permanently mid-run "
+            "(deterministic schedule; requires --chaos)"
+        ),
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help=(
+            "fleet: attach the invariant monitor to every board system "
+            "and report checks/violations (exit 1 on any violation)"
+        ),
     )
     parser.add_argument(
         "--jobs",

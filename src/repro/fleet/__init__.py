@@ -13,23 +13,43 @@ batching, executes every board's schedule on a real
 request-level SLOs — p50/p99 latency, rejected-request rate, per-board
 utilisation — with the same nearest-rank/rollup machinery as every
 other campaign in the repo.
+
+:mod:`repro.fleet.health` adds the fault-tolerance control plane: per-
+board chaos storms, a deterministic board health state machine
+(healthy → degraded → quarantined → dead) with a circuit breaker, and
+request-level failover with capped retries — the degraded-mode SLOs
+(availability under board loss, failover latency penalty, goodput)
+surface through the same :class:`FleetReport`.
 """
 
+from .health import (
+    DEADLINE_FACTOR,
+    FleetHealthTracker,
+    PROBE_COOLDOWN_US,
+    chaos_board_point,
+    run_chaos_fleet,
+)
 from .report import FleetReport, FleetSlos, format_report, render_json
 from .scheduler import FleetPlan, plan_fleet
 from .service import FleetSpec, board_point, run_fleet
-from .workload import FleetRequest, build_workload
+from .workload import FleetRequest, build_workload, reissue
 
 __all__ = [
+    "DEADLINE_FACTOR",
+    "FleetHealthTracker",
     "FleetPlan",
     "FleetReport",
     "FleetRequest",
     "FleetSlos",
     "FleetSpec",
+    "PROBE_COOLDOWN_US",
     "board_point",
     "build_workload",
+    "chaos_board_point",
     "format_report",
     "plan_fleet",
+    "reissue",
     "render_json",
+    "run_chaos_fleet",
     "run_fleet",
 ]

@@ -48,6 +48,7 @@ __all__ = [
     "FleetPlan",
     "PlannedJob",
     "estimate_service_us",
+    "least_loaded_board",
     "plan_fleet",
 ]
 
@@ -186,6 +187,27 @@ def _form_groups(
         )
         groups.append(group)
     return groups
+
+
+def least_loaded_board(
+    free_us: Dict[int, float], arrival_us: float, candidates
+) -> Optional[int]:
+    """Least-loaded placement over an explicit candidate set.
+
+    The failover loop's version of the planner's placement rule:
+    ``free_us`` maps board → time the board next comes free (measured,
+    not estimated — failover runs *after* the replay, where measured
+    times exist), and the winner is the candidate that could start the
+    retry earliest, ties broken by lowest index so placement stays a
+    total order.  Returns ``None`` when no candidate remains.
+    """
+    candidates = list(candidates)
+    if not candidates:
+        return None
+    return min(
+        candidates,
+        key=lambda board: (max(free_us.get(board, 0.0), arrival_us), board),
+    )
 
 
 def plan_fleet(

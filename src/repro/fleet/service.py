@@ -57,6 +57,17 @@ class FleetSpec:
     batch_limit: int = 4
     #: PL clock for every load (the robust Table-I operating point).
     freq_mhz: float = 200.0
+    #: Arm a per-board fault storm and execute through the resilience
+    #: layer (see :mod:`repro.fleet.health`).
+    chaos: bool = False
+    #: Environmental faults per board in the storm round.
+    chaos_intensity: int = 4
+    #: Boards killed permanently mid-run (seed-deterministic schedule).
+    kill_boards: int = 0
+    #: Poisson SEU rate per board (chaos rounds only; 0 disables).
+    seu_per_ms: float = 0.0
+    #: Attach an InvariantMonitor to every board system.
+    verify: bool = False
 
     def __post_init__(self) -> None:
         if self.boards < 1:
@@ -66,6 +77,12 @@ class FleetSpec:
                 f"unknown arrival mode {self.arrival!r} "
                 f"(expected one of {ARRIVAL_MODES})"
             )
+        if self.chaos_intensity < 0:
+            raise ValueError("chaos intensity cannot be negative")
+        if not 0 <= self.kill_boards <= self.boards:
+            raise ValueError("kill_boards must be within the fleet size")
+        if self.kill_boards and not self.chaos:
+            raise ValueError("kill_boards requires chaos mode")
 
     def to_mapping(self) -> Dict[str, Any]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -111,7 +128,15 @@ def board_point(board: int, groups: Sequence, freq_mhz: float) -> Dict[str, Any]
             }
         )
     note_events(system.sim.events_processed)
-    return {"board": int(board), "groups": executed}
+    return {
+        "board": int(board),
+        "groups": executed,
+        # Dead simulation processes are findings, not noise: the fuzz
+        # and chaos campaigns already fail on them, the fleet does too.
+        "unhandled_failures": [
+            process.name for process in system.sim.unhandled_failures
+        ],
+    }
 
 
 def _replay_timeline(
@@ -168,7 +193,16 @@ def run_fleet(
     jobs: int = 1,
     runner: Optional[SweepRunner] = None,
 ) -> FleetReport:
-    """Run one fleet campaign end to end; pure function of ``spec``."""
+    """Run one fleet campaign end to end; pure function of ``spec``.
+
+    Chaos-mode specs (``chaos=True``) route through the health/failover
+    driver (:func:`repro.fleet.health.run_chaos_fleet`); the plain path
+    below stays the no-faults fast path.
+    """
+    if spec.chaos or spec.verify:
+        from .health import run_chaos_fleet
+
+        return run_chaos_fleet(spec, jobs=jobs, runner=runner)
     requests = build_workload(
         spec.seed, spec.duration_ms, spec.arrival, spec.rate_per_ms
     )
@@ -194,10 +228,19 @@ def run_fleet(
     )
     arrivals_us = {request.index: request.arrival_us for request in requests}
     outcomes, usages = _replay_timeline(plan, executed, arrivals_us)
+    unhandled = [
+        {
+            "board": payload["board"],
+            "processes": list(payload["unhandled_failures"]),
+        }
+        for payload in executed
+        if payload.get("unhandled_failures")
+    ]
     return FleetReport.build(
         spec=spec.to_mapping(),
         offered=len(requests),
         plan=plan,
         outcomes=outcomes,
         boards=usages,
+        unhandled=unhandled,
     )

@@ -129,6 +129,10 @@ class IcapController:
                     self.clock.ns_to_cycles(self.sim.now - wait_started_ns)
                 )
             self.busy.set(True)
+            # busy and done are mutually exclusive: an SG descriptor
+            # chain starts its next bitstream without a begin_transfer,
+            # so the previous segment's desync flag drops here.
+            self.done.set(False)
             if self.fault_lockup_cycles is not None:
                 lockup = max(0, int(self.fault_lockup_cycles()))
                 if lockup:

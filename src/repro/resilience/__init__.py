@@ -10,10 +10,17 @@ learns which operating points to quarantine from observed outcomes only.
 
 from .governor import FrequencyGovernor
 from .policy import RecoveryPolicy
-from .reconfigurator import AttemptRecord, RecoveryOutcome, ResilientReconfigurator, detect_modes
+from .reconfigurator import (
+    AttemptRecord,
+    BatchRecoveryOutcome,
+    RecoveryOutcome,
+    ResilientReconfigurator,
+    detect_modes,
+)
 
 __all__ = [
     "AttemptRecord",
+    "BatchRecoveryOutcome",
     "FrequencyGovernor",
     "RecoveryOutcome",
     "RecoveryPolicy",

@@ -19,6 +19,22 @@ decides what to do once a failure is detected:
 Policies are frozen plain-data objects so they can cross a process
 boundary (the fault-injection campaign ships them to sweep workers) and
 key the on-disk result cache.
+
+The same policy object also governs **fleet-level request failover**
+(:mod:`repro.fleet.health`), deliberately sharing one set of knobs so
+board-local retries and fleet-level re-admission cannot drift apart:
+
+* ``max_attempts`` caps the *service attempts* a fleet request may
+  consume across boards (first placement + failovers), exactly as it
+  caps the attempts one board spends on a single reconfiguration;
+* ``failover_backoff_base_us`` seeds the exponential re-admission
+  backoff (retry *i* waits ``base · 2**i`` before re-entering the
+  scheduler) — the only failover-specific constant, and it lives here
+  rather than in the fleet layer so there is exactly one place that
+  defines how hard the platform fights a failure;
+* ``quarantine_after`` is reused as the consecutive-bad-group threshold
+  at which the fleet health detector quarantines a *board*, mirroring
+  the governor's per-operating-point quarantine.
 """
 
 from __future__ import annotations
@@ -46,8 +62,14 @@ class RecoveryPolicy:
     #: corruption, so a marginal violation can pass on the second try).
     retry_same_on_data_corrupt: bool = True
     #: Consecutive failures at one (region, frequency, temperature)
-    #: operating point before the governor quarantines it.
+    #: operating point before the governor quarantines it.  The fleet
+    #: health detector reuses the same threshold for consecutive bad
+    #: dispatch groups before quarantining a board.
     quarantine_after: int = 2
+    #: Fleet failover: delay (µs) before a failed request's *first*
+    #: re-admission; each further retry doubles it (see
+    #: :meth:`failover_delay_us` and :mod:`repro.fleet.health`).
+    failover_backoff_base_us: float = 400.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -58,6 +80,8 @@ class RecoveryPolicy:
             raise ValueError("frequency floor must be positive")
         if self.quarantine_after < 1:
             raise ValueError("quarantine threshold must be >= 1")
+        if self.failover_backoff_base_us <= 0:
+            raise ValueError("failover backoff base must be positive")
 
     # -- actions ---------------------------------------------------------------
     def next_frequency(
@@ -78,6 +102,18 @@ class RecoveryPolicy:
         ):
             return freq_mhz
         return max(self.freq_floor_mhz, freq_mhz * self.backoff_factor)
+
+    def failover_delay_us(self, retry_index: int) -> float:
+        """Fleet re-admission backoff before retry ``retry_index``.
+
+        ``retry_index`` counts failovers of one request (0 = the first
+        re-admission after the original placement failed).  Exponential:
+        ``base · 2**i`` — the fleet-level analogue of the per-board
+        frequency ladder, bounded by the shared ``max_attempts`` budget.
+        """
+        if retry_index < 0:
+            raise ValueError("retry index cannot be negative")
+        return self.failover_backoff_base_us * (2.0 ** retry_index)
 
     def ladder(self, freq_mhz: float) -> list:
         """The full backoff ladder from ``freq_mhz`` down to the floor."""

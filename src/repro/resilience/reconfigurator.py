@@ -37,7 +37,16 @@ from ..timing import FailureMode
 from .governor import FrequencyGovernor
 from .policy import RecoveryPolicy
 
-__all__ = ["AttemptRecord", "RecoveryOutcome", "ResilientReconfigurator"]
+__all__ = [
+    "AttemptRecord",
+    "BatchRecoveryOutcome",
+    "RecoveryOutcome",
+    "ResilientReconfigurator",
+]
+
+#: "No padding override requested" — distinct from ``pad_to=None``,
+#: which explicitly asks for a content-sized bitstream.
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -98,6 +107,41 @@ class RecoveryOutcome:
         if self.recovered:
             return f"rec:{self.attempts_used}@{self.final_freq_mhz:.0f}"
         return "FAIL"
+
+
+@dataclass
+class BatchRecoveryOutcome:
+    """Outcome of one SG dispatch group executed under recovery.
+
+    The descriptor chain runs once at the (governor-authorised) batch
+    frequency; any region whose read-back CRC failed — or every region,
+    when the chain's control path hung — is then re-driven through the
+    normal per-region retry loop, so one corrupted transfer never
+    poisons the whole group.
+    """
+
+    requested_freq_mhz: float
+    #: Frequency the chain actually ran at (after governor clamping).
+    freq_mhz: float
+    #: Sim-time from chain start to the last recovery settling (µs).
+    latency_us: float
+    #: region -> final verdict after any individual recovery.
+    region_ok: Dict[str, bool] = field(default_factory=dict)
+    #: Per-region retry loops run for regions the batch left invalid.
+    recoveries: Dict[str, "RecoveryOutcome"] = field(default_factory=dict)
+    governor_clamped: bool = False
+    newly_quarantined: int = 0
+
+    @property
+    def recovered(self) -> bool:
+        """Did every region of the group end up valid?"""
+        return bool(self.region_ok) and all(self.region_ok.values())
+
+    @property
+    def attempts_used(self) -> int:
+        return len(self.region_ok) + sum(
+            outcome.attempts_used for outcome in self.recoveries.values()
+        )
 
 
 def detect_modes(result: ReconfigResult) -> tuple:
@@ -172,8 +216,17 @@ class ResilientReconfigurator:
         self._active_region: Optional[str] = None
 
     # -- main entry ----------------------------------------------------------
-    def reconfigure(self, region: str, asp: Asp, freq_mhz: float) -> RecoveryOutcome:
-        """One logical reconfiguration, retried within the policy budget."""
+    def reconfigure(
+        self, region: str, asp: Asp, freq_mhz: float, pad_to=_UNSET
+    ) -> RecoveryOutcome:
+        """One logical reconfiguration, retried within the policy budget.
+
+        ``pad_to`` overrides the bitstream padding for every attempt
+        (``None`` = content-sized), mirroring
+        :meth:`~repro.core.PdrSystem.make_bitstream` — request-level
+        workloads mix bitstream sizes on one system this way.  Left
+        unset, the system's configured padding applies.
+        """
         system = self.system
         policy = self.policy
         temp_c = system.die_temp_c
@@ -186,17 +239,21 @@ class ResilientReconfigurator:
         )
         freq = authorised
         first_failure_ns: Optional[float] = None
+        bitstream = (
+            None if pad_to is _UNSET
+            else system.make_bitstream(region, asp, pad_to=pad_to)
+        )
         previous_active = self._active_region
         self._active_region = region
         try:
             return self._reconfigure_attempts(
-                region, asp, freq, outcome, first_failure_ns
+                region, asp, freq, outcome, first_failure_ns, bitstream
             )
         finally:
             self._active_region = previous_active
 
     def _reconfigure_attempts(
-        self, region, asp, freq, outcome, first_failure_ns
+        self, region, asp, freq, outcome, first_failure_ns, bitstream=None
     ) -> RecoveryOutcome:
         system = self.system
         policy = self.policy
@@ -206,7 +263,9 @@ class ResilientReconfigurator:
                 self._m_attempts.inc()
                 if attempt > 0:
                     self._m_retries.inc()
-                result = system.reconfigure(region, asp, freq, attempt=attempt)
+                result = system.reconfigure(
+                    region, asp, freq, bitstream=bitstream, attempt=attempt
+                )
                 modes = detect_modes(result)
                 outcome.attempts.append(
                     AttemptRecord(
@@ -252,6 +311,69 @@ class ResilientReconfigurator:
                 freq = next_freq
             else:
                 self._m_giveups.inc()
+        return outcome
+
+    # -- batch (SG dispatch group) entry ----------------------------------------
+    def reconfigure_batch(self, jobs, freq_mhz: float) -> BatchRecoveryOutcome:
+        """One SG dispatch group under recovery.
+
+        ``jobs`` is the same ``(region, asp[, pad_to])`` list
+        :meth:`~repro.core.PdrSystem.reconfigure_batch` accepts (regions
+        must be distinct).  The chain runs once at the lowest frequency
+        the governor authorises across the group's regions; every
+        region's verdict then feeds the governor exactly as an
+        individual reconfiguration would, and any invalid region falls
+        back to the per-region retry loop of :meth:`reconfigure`.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            raise ValueError("batch needs at least one (region, asp) job")
+        system = self.system
+        temp_c = system.die_temp_c
+        authorised = min(
+            self.governor.authorise(job[0], freq_mhz, temp_c) for job in jobs
+        )
+        start_ns = system.sim.now
+        outcome = BatchRecoveryOutcome(
+            requested_freq_mhz=freq_mhz,
+            freq_mhz=authorised,
+            latency_us=0.0,
+            governor_clamped=authorised < freq_mhz,
+        )
+        with self._spans.span(
+            "recover_batch", jobs=len(jobs), freq_mhz=freq_mhz
+        ):
+            batch = system.reconfigure_batch(jobs, authorised)
+            outcome.freq_mhz = batch.freq_mhz
+            for job in jobs:
+                region, asp = job[0], job[1]
+                pad_to = job[2] if len(job) > 2 else _UNSET
+                self._m_attempts.inc()
+                ok = batch.control_path_ok and batch.region_valid.get(
+                    region, False
+                )
+                if ok:
+                    self.governor.record_success(
+                        region, batch.freq_mhz, temp_c
+                    )
+                    self._golden[region] = asp
+                    outcome.region_ok[region] = True
+                    continue
+                self._m_failures.inc()
+                modes = []
+                if not batch.control_path_ok:
+                    modes.append(FailureMode.CONTROL_HANG)
+                if not batch.region_valid.get(region, False):
+                    modes.append(FailureMode.DATA_CORRUPT)
+                if self.governor.record_failure(
+                    region, batch.freq_mhz, temp_c, tuple(modes)
+                ):
+                    outcome.newly_quarantined += 1
+                recovery = self.reconfigure(region, asp, freq_mhz, pad_to=pad_to)
+                outcome.recoveries[region] = recovery
+                outcome.region_ok[region] = recovery.recovered
+                outcome.newly_quarantined += recovery.newly_quarantined
+        outcome.latency_us = (system.sim.now - start_ns) / 1e3
         return outcome
 
     # -- scrub-triggered repair -------------------------------------------------

@@ -1,0 +1,159 @@
+"""Board health state machine + failover acceptance properties.
+
+The tracker tests drive the deterministic failure detector directly
+(no simulation): degradation and healing, the quarantine threshold, the
+circuit breaker's open → half-open → closed rejoin path, and cooldown
+doubling on failed probes.  The hypothesis property test runs whole
+chaos fleets under randomized board-death schedules and checks the
+ISSUE's conservation law: every admitted request gets exactly one
+terminal outcome, whatever dies.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import FleetSpec, run_fleet
+from repro.fleet.health import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    DEAD,
+    DEGRADED,
+    HEALTHY,
+    PROBE_COOLDOWN_US,
+    QUARANTINED,
+    FleetHealthTracker,
+)
+from repro.fleet.report import TERMINAL_EXHAUSTED, TERMINAL_SERVED
+from repro.resilience import RecoveryPolicy
+
+
+def make_tracker(boards=2, quarantine_after=2):
+    policy = RecoveryPolicy(quarantine_after=quarantine_after)
+    return FleetHealthTracker(policy, boards)
+
+
+def test_single_bad_group_degrades_then_heals():
+    tracker = make_tracker()
+    tracker.observe_group(0, 100.0, ok=False, deadline_breached=False)
+    assert tracker.boards[0].state == DEGRADED
+    assert tracker.boards[0].breaker == BREAKER_CLOSED
+    tracker.observe_group(0, 200.0, ok=True, deadline_breached=False)
+    assert tracker.boards[0].state == HEALTHY
+    reasons = [event.reason for event in tracker.boards[0].timeline]
+    assert reasons == ["group_failed", "group_ok"]
+
+
+def test_deadline_breach_counts_as_bad():
+    tracker = make_tracker()
+    tracker.observe_group(0, 100.0, ok=True, deadline_breached=True)
+    assert tracker.boards[0].state == DEGRADED
+    assert tracker.boards[0].timeline[-1].reason == "deadline_breached"
+
+
+def test_consecutive_bad_groups_quarantine_and_open_breaker():
+    tracker = make_tracker(quarantine_after=2)
+    tracker.observe_group(0, 100.0, ok=False, deadline_breached=False)
+    tracker.observe_group(0, 200.0, ok=False, deadline_breached=False)
+    health = tracker.boards[0]
+    assert health.state == QUARANTINED
+    assert health.breaker == BREAKER_OPEN
+    assert health.cooldown_us == PROBE_COOLDOWN_US
+    assert health.opened_at_us == 200.0
+    # A good group while quarantined does NOT heal: only a probe can.
+    tracker.observe_group(0, 300.0, ok=True, deadline_breached=False)
+    assert tracker.boards[0].state == QUARANTINED
+
+
+def test_breaker_half_open_promotion_respects_cooldown():
+    tracker = make_tracker(quarantine_after=1)
+    tracker.observe_group(0, 100.0, ok=False, deadline_breached=False)
+    # Before the cooldown elapses the board is not a candidate at all.
+    closed, half_open = tracker.candidates(100.0 + PROBE_COOLDOWN_US / 2)
+    assert 0 not in closed and 0 not in half_open
+    assert 1 in closed
+    # At/after the cooldown the breaker goes half-open: probe territory.
+    closed, half_open = tracker.candidates(100.0 + PROBE_COOLDOWN_US)
+    assert half_open == [0]
+    assert tracker.boards[0].breaker == BREAKER_HALF_OPEN
+
+
+def test_probe_success_rejoins_board():
+    tracker = make_tracker(quarantine_after=1)
+    tracker.observe_group(0, 100.0, ok=False, deadline_breached=False)
+    tracker.candidates(100.0 + PROBE_COOLDOWN_US)
+    tracker.mark_probe(0)
+    tracker.probe_result(0, 5000.0, ok=True)
+    health = tracker.boards[0]
+    assert health.state == HEALTHY
+    assert health.breaker == BREAKER_CLOSED
+    assert health.cooldown_us == PROBE_COOLDOWN_US  # reset for next time
+    assert "probe_ok_rejoined" in [e.reason for e in health.timeline]
+
+
+def test_probe_failure_doubles_cooldown():
+    tracker = make_tracker(quarantine_after=1)
+    tracker.observe_group(0, 100.0, ok=False, deadline_breached=False)
+    tracker.candidates(100.0 + PROBE_COOLDOWN_US)
+    tracker.mark_probe(0)
+    tracker.probe_result(0, 5000.0, ok=False)
+    health = tracker.boards[0]
+    assert health.state == QUARANTINED
+    assert health.breaker == BREAKER_OPEN
+    assert health.cooldown_us == 2 * PROBE_COOLDOWN_US
+    assert health.opened_at_us == 5000.0
+
+
+def test_one_probe_per_board_per_round():
+    tracker = make_tracker(quarantine_after=1)
+    tracker.observe_group(0, 100.0, ok=False, deadline_breached=False)
+    arrival = 100.0 + PROBE_COOLDOWN_US
+    tracker.candidates(arrival)
+    tracker.mark_probe(0)
+    _, half_open = tracker.candidates(arrival)
+    assert half_open == []  # already probed this round
+    tracker.start_round()
+    _, half_open = tracker.candidates(arrival)
+    assert half_open == [0]  # allowance resets with the round
+
+
+def test_dead_board_never_returns():
+    tracker = make_tracker()
+    tracker.observe_kill(1, 4000.0)
+    assert tracker.boards[1].state == DEAD
+    closed, half_open = tracker.candidates(1e9)
+    assert 1 not in closed and 1 not in half_open
+    tracker.probe_result(1, 1e9, ok=True)  # cannot resurrect
+    assert tracker.boards[1].state == DEAD
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    seed=st.integers(min_value=1, max_value=200),
+    kill_boards=st.integers(min_value=0, max_value=2),
+)
+def test_property_every_request_has_one_terminal_outcome(seed, kill_boards):
+    """ISSUE acceptance: conservation under randomized board death."""
+    spec = FleetSpec(
+        boards=3,
+        seed=seed,
+        duration_ms=6.0,
+        chaos=True,
+        chaos_intensity=3,
+        kill_boards=kill_boards,
+    )
+    report = run_fleet(spec)
+    assert report.offered == report.admitted + report.rejected
+    assert len(report.outcomes) == report.admitted
+    indices = [outcome.index for outcome in report.outcomes]
+    assert len(set(indices)) == len(indices)
+    served = sum(
+        1 for o in report.outcomes if o.terminal == TERMINAL_SERVED
+    )
+    exhausted = sum(
+        1 for o in report.outcomes if o.terminal == TERMINAL_EXHAUSTED
+    )
+    assert served + exhausted == report.admitted
+    for outcome in report.outcomes:
+        assert outcome.terminal in (TERMINAL_SERVED, TERMINAL_EXHAUSTED)
+        assert 1 <= outcome.attempts <= RecoveryPolicy().max_attempts

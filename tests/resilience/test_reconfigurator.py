@@ -147,3 +147,29 @@ def test_custom_governor_is_used(system):
     governor = FrequencyGovernor(quarantine_after=1)
     reconfigurator = ResilientReconfigurator(system, governor=governor)
     assert reconfigurator.governor is governor
+
+
+def test_batch_in_spec_recovers_first_pass(system, reconfigurator):
+    jobs = [("RP1", FirFilterAsp([1, 2, 3])), ("RP2", WORKLOAD)]
+    outcome = reconfigurator.reconfigure_batch(jobs, 100.0)
+    assert outcome.recovered
+    assert outcome.region_ok == {"RP1": True, "RP2": True}
+    assert outcome.recoveries == {}
+    assert outcome.attempts_used == 2  # one chain verdict per region
+    assert outcome.latency_us > 0
+    # Both regions really hold their new designs.
+    assert system.run_asp("RP2", [1, 0, 0, 0, 0]) == [3, 1, 4, 1, 5]
+
+
+def test_batch_failure_falls_back_to_per_region_recovery(system, reconfigurator):
+    # 320 MHz at 40 C corrupts the data path: the chain's CRCs fail and
+    # each invalid region re-drives through the individual retry loop.
+    system.set_die_temperature(40.0)
+    jobs = [("RP1", FirFilterAsp([1, 2, 3])), ("RP2", WORKLOAD)]
+    outcome = reconfigurator.reconfigure_batch(jobs, 320.0)
+    assert outcome.recovered
+    assert outcome.recoveries  # at least one region needed the loop
+    for recovery in outcome.recoveries.values():
+        assert recovery.recovered
+    assert outcome.attempts_used > len(jobs)
+    assert system.run_asp("RP2", [1, 0, 0, 0, 0]) == [3, 1, 4, 1, 5]
